@@ -1,0 +1,274 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Each Benchmark<Artefact> runs the corresponding experiment and reports
+// the paper's quantities as benchmark metrics (sim_s/op style); the first
+// iteration also prints the regenerated table so bench output doubles as
+// the reproduction artefact.
+package dramdig
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"dramdig/internal/core"
+	"dramdig/internal/drama"
+	"dramdig/internal/eval"
+	"dramdig/internal/machine"
+)
+
+
+// BenchmarkTable2 regenerates Table II: DRAMDig's recovered mappings on
+// the nine machine settings.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table2(eval.Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches, simTotal := 0, 0.0
+		for _, r := range rows {
+			if r.Match {
+				matches++
+			}
+			simTotal += r.SimSeconds
+		}
+		if i == 0 {
+			eval.RenderTable2(os.Stdout, rows)
+		}
+		b.ReportMetric(float64(matches), "matches")
+		b.ReportMetric(simTotal/float64(len(rows)), "avg_sim_s")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: time costs of DRAMDig vs DRAMA
+// per setting (simulated seconds; DRAMA capped at two hours).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure2(eval.Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dig, dr float64
+		timeouts := 0
+		for _, r := range rows {
+			dig += r.DRAMDigSec
+			dr += r.DRAMASec
+			if r.DRAMATimeout {
+				timeouts++
+			}
+		}
+		if i == 0 {
+			eval.RenderFigure2(os.Stdout, rows)
+		}
+		b.ReportMetric(dig/9, "dramdig_avg_sim_s")
+		b.ReportMetric(dr/9, "drama_avg_sim_s")
+		b.ReportMetric(float64(timeouts), "drama_timeouts")
+	}
+}
+
+// BenchmarkTable3 regenerates Table III: double-sided rowhammer flips
+// with DRAMDig vs DRAMA mappings on settings No.1/No.2/No.5.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table3(eval.Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dig, dr int
+		for _, r := range rows {
+			dig += r.DigTotal
+			dr += r.DramaTotal
+		}
+		if i == 0 {
+			eval.RenderTable3(os.Stdout, rows)
+		}
+		b.ReportMetric(float64(dig), "dramdig_flips")
+		b.ReportMetric(float64(dr), "drama_flips")
+	}
+}
+
+// BenchmarkTable1 regenerates Table I: the qualitative tool comparison.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Table1(eval.Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		score := 0
+		for _, r := range rows {
+			if r.Tool == "DRAMDig" && r.Generic && r.Efficient && r.Deterministic {
+				score = 3
+			}
+		}
+		if i == 0 {
+			eval.RenderTable1(os.Stdout, rows)
+		}
+		b.ReportMetric(float64(score), "dramdig_properties")
+	}
+}
+
+// BenchmarkReverseEngineerPerSetting reports DRAMDig's simulated cost per
+// machine — the per-bar breakdown behind Figure 2.
+func BenchmarkReverseEngineerPerSetting(b *testing.B) {
+	for no := 1; no <= 9; no++ {
+		no := no
+		b.Run(fmt.Sprintf("No%d", no), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := machine.NewByNo(no, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tool, err := core.New(m, core.Config{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TotalSimSeconds, "sim_s")
+				b.ReportMetric(float64(res.Measurements), "measurements")
+				b.ReportMetric(float64(res.SelectedAddrs), "selected")
+			}
+		})
+	}
+}
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationSelection contrasts DRAMDig's knowledge-guided
+// Algorithm 1 pool against progressively oversized pools: the selected
+// address count drives the partition cost (paper §IV-B).
+func BenchmarkAblationSelection(b *testing.B) {
+	for _, minPool := range []int{4096, 8192, 16384} {
+		minPool := minPool
+		b.Run(fmt.Sprintf("pool%d", minPool), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, _ := machine.NewByNo(1, 42)
+				tool, err := core.New(m, core.Config{Seed: 1, MinPoolAddrs: minPool})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TotalSimSeconds, "sim_s")
+				b.ReportMetric(float64(res.SelectedAddrs), "selected")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelta sweeps Algorithm 2's pile tolerance δ. Too
+// tight a tolerance rejects legitimate piles (same-row members keep
+// piles slightly under the ideal size); the paper's 0.2 is comfortable.
+func BenchmarkAblationDelta(b *testing.B) {
+	for _, delta := range []float64{0.05, 0.2, 0.4} {
+		delta := delta
+		b.Run(fmt.Sprintf("delta%.2f", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, _ := machine.NewByNo(2, 42)
+				tool, err := core.New(m, core.Config{Seed: 1, Delta: delta})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.Run()
+				ok := 0.0
+				sim := 0.0
+				if err == nil {
+					if res.Mapping.EquivalentTo(m.Truth()) {
+						ok = 1
+					}
+					sim = res.TotalSimSeconds
+				}
+				b.ReportMetric(ok, "success")
+				b.ReportMetric(sim, "sim_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRounds sweeps the partition measurement length:
+// shorter measurements are cheaper but noisier.
+func BenchmarkAblationRounds(b *testing.B) {
+	for _, rounds := range []int{150, 600, 2400} {
+		rounds := rounds
+		b.Run(fmt.Sprintf("rounds%d", rounds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, _ := machine.NewByNo(2, 42)
+				tool, err := core.New(m, core.Config{Seed: 1, PartitionRounds: rounds})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tool.Run()
+				ok, sim := 0.0, 0.0
+				if err == nil {
+					if res.Mapping.EquivalentTo(m.Truth()) {
+						ok = 1
+					}
+					sim = res.TotalSimSeconds
+				}
+				b.ReportMetric(ok, "success")
+				b.ReportMetric(sim, "sim_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDriftGuard measures the sentinel-based drift guard on
+// the paper's hardest setting (No.3): without it DRAMDig degrades to
+// DRAMA-like failure.
+func BenchmarkAblationDriftGuard(b *testing.B) {
+	for _, guard := range []bool{true, false} {
+		guard := guard
+		name := "on"
+		if !guard {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			succ := 0
+			runs := 0
+			for i := 0; i < b.N; i++ {
+				for _, mseed := range []int64{394, 399, 400} {
+					runs++
+					m, _ := machine.NewByNo(3, mseed)
+					tool, err := core.New(m, core.Config{
+						Seed:              1,
+						MinPoolAddrs:      8192,
+						DisableDriftGuard: !guard,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := tool.Run()
+					if err == nil && res.Mapping.EquivalentTo(m.Truth()) {
+						succ++
+					}
+				}
+			}
+			b.ReportMetric(float64(succ)/float64(runs), "success_rate")
+		})
+	}
+}
+
+// BenchmarkDRAMAConvergence reports DRAMA's cost on a quiet setting, for
+// the Figure 2 gap at micro scale.
+func BenchmarkDRAMAConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, _ := machine.NewByNo(8, 42)
+		tool, err := drama.New(m, drama.Config{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tool.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalSimSeconds, "sim_s")
+	}
+}

@@ -1,0 +1,132 @@
+// Command dramdig reverse-engineers the DRAM address mapping of a
+// simulated machine and prints it in the paper's notation, alongside the
+// run's cost statistics and — when requested — the ground truth for
+// comparison.
+//
+// Usage:
+//
+//	dramdig -machine 6 [-seed 42] [-v] [-truth] [-baseline drama|xiao|seaborn]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"dramdig/internal/core"
+	"dramdig/internal/drama"
+	"dramdig/internal/machine"
+	"dramdig/internal/seaborn"
+	"dramdig/internal/xiao"
+)
+
+func main() {
+	var (
+		machineNo  = flag.Int("machine", 1, "paper machine setting (1-9)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		verbose    = flag.Bool("v", false, "print tool progress")
+		showTruth  = flag.Bool("truth", false, "print the simulator's ground-truth mapping")
+		baseline   = flag.String("baseline", "", "run a baseline instead of DRAMDig: drama, xiao or seaborn")
+		jsonOut    = flag.Bool("json", false, "print the recovered mapping as JSON (DRAMDig only)")
+		showReport = flag.Bool("report", false, "print the full run report (DRAMDig only)")
+	)
+	flag.Parse()
+
+	m, err := machine.NewByNo(*machineNo, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== Simulated machine %s ===\n%s\n", m.Name(), m.SysInfo().Report())
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	switch *baseline {
+	case "":
+		tool, err := core.New(m, core.Config{Seed: *seed, Logf: logf})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := tool.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("DRAMDig result:   %s\n", res.Mapping)
+		fmt.Printf("cost:             %.1f simulated s, %d measurements, %d selected addresses\n",
+			res.TotalSimSeconds, res.Measurements, res.SelectedAddrs)
+		if *showTruth {
+			fmt.Printf("ground truth:     %s\n", m.Truth())
+			fmt.Printf("equivalent:       %v\n", res.Mapping.EquivalentTo(m.Truth()))
+		}
+		if *showReport {
+			fmt.Println()
+			fmt.Print(res.Report())
+		}
+		if *jsonOut {
+			data, err := json.MarshalIndent(res.Mapping, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		}
+	case "drama":
+		tool, err := drama.New(m, drama.Config{Seed: *seed, Logf: logf})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := tool.Run()
+		if errors.Is(err, drama.ErrTimeout) {
+			fmt.Printf("DRAMA: %v\n", err)
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("DRAMA result:     %s\n", res)
+		fmt.Printf("cost:             %.1f simulated s, %d attempts\n", res.TotalSimSeconds, res.Attempts)
+	case "xiao":
+		tool, err := xiao.New(m, xiao.Config{Seed: *seed, Logf: logf})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := tool.Run()
+		var stuck *xiao.ErrStuck
+		if errors.As(err, &stuck) {
+			fmt.Printf("Xiao et al.: %v\n", err)
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Xiao result:      %s\n", res)
+		fmt.Printf("cost:             %.1f simulated s\n", res.TotalSimSeconds)
+	case "seaborn":
+		tool, err := seaborn.New(m, seaborn.Config{Seed: *seed, Logf: logf})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := tool.Run()
+		if errors.Is(err, seaborn.ErrNoFlips) {
+			fmt.Printf("Seaborn et al.: %v\n", err)
+			return
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Seaborn result:   %s\n", res)
+		fmt.Printf("cost:             %.1f simulated s\n", res.TotalSimSeconds)
+	default:
+		fatal(fmt.Errorf("unknown baseline %q (want drama, xiao or seaborn)", *baseline))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramdig:", err)
+	os.Exit(1)
+}

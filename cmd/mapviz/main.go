@@ -1,0 +1,95 @@
+// Command mapviz renders a DRAM address mapping — given in the paper's
+// notation or as JSON — as a per-bit role table, and answers decode
+// queries. It is the offline companion to cmd/dramdig: archive a
+// recovered mapping as JSON, inspect it later.
+//
+// Usage:
+//
+//	mapviz -phys 33 -funcs "(6), (14, 17), (15, 18), (16, 19)" -rows "17~32" -cols "0~5, 7~13"
+//	mapviz -json mapping.json -decode 0x2f3c0940
+//	mapviz -machine 6            # show a paper setting's ground truth
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/machine"
+	"dramdig/internal/mapping"
+)
+
+func main() {
+	var (
+		physBits  = flag.Uint("phys", 0, "physical address width in bits")
+		funcsSpec = flag.String("funcs", "", `bank functions, e.g. "(6), (14, 17)"`)
+		rowsSpec  = flag.String("rows", "", `row bits, e.g. "17~32"`)
+		colsSpec  = flag.String("cols", "", `column bits, e.g. "0~5, 7~13"`)
+		jsonPath  = flag.String("json", "", "read the mapping from a JSON file instead")
+		machineNo = flag.Int("machine", 0, "show a paper setting's ground-truth mapping (1-9)")
+		decode    = flag.String("decode", "", "also decode this physical address (hex or decimal)")
+	)
+	flag.Parse()
+
+	m, err := loadMapping(*machineNo, *jsonPath, *physBits, *funcsSpec, *rowsSpec, *colsSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapviz:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mapping: %s\n", m)
+	fmt.Printf("geometry: %d banks x %d rows x %d columns (%d GiB)\n\n",
+		m.NumBanks(), m.NumRows(), m.NumCols(), m.MemBytes()>>30)
+	fmt.Print(m.ExplainTable())
+
+	if *decode != "" {
+		v, err := strconv.ParseUint(*decode, 0, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapviz: bad address:", err)
+			os.Exit(1)
+		}
+		d := m.Decode(addr.Phys(v))
+		fmt.Printf("\n%#x decodes to %s\n", v, d)
+	}
+}
+
+func loadMapping(machineNo int, jsonPath string, physBits uint, funcs, rows, cols string) (*mapping.Mapping, error) {
+	switch {
+	case machineNo != 0:
+		mach, err := machine.NewByNo(machineNo, 1)
+		if err != nil {
+			return nil, err
+		}
+		return mach.Truth(), nil
+	case jsonPath != "":
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		var m mapping.Mapping
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	default:
+		if physBits == 0 || funcs == "" || rows == "" || cols == "" {
+			return nil, fmt.Errorf("need -machine, -json, or all of -phys/-funcs/-rows/-cols")
+		}
+		fns, err := mapping.ParseFuncs(funcs)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := mapping.ParseBitRanges(rows)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := mapping.ParseBitRanges(cols)
+		if err != nil {
+			return nil, err
+		}
+		return mapping.New(physBits, fns, rb, cb)
+	}
+}

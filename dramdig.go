@@ -1,0 +1,159 @@
+// Package dramdig is the public API of the DRAMDig reproduction: a
+// knowledge-assisted tool that reverse-engineers DRAM address mappings
+// (bank XOR functions, row bits, column bits) through the row-buffer
+// timing side channel, together with the simulated-hardware substrate it
+// runs on, the DRAMA / Xiao / Seaborn baselines it is compared against,
+// and a double-sided rowhammer test driver.
+//
+// Reproduces: Wang, Zhang, Cheng, Nepal — "DRAMDig: A Knowledge-assisted
+// Tool to Uncover DRAM Address Mapping", DAC 2020 (arXiv:2004.02354).
+//
+// # Quick start
+//
+//	m, _ := dramdig.NewMachine(1, 42)       // the paper's setting No.1
+//	res, _ := dramdig.ReverseEngineer(m, dramdig.Options{})
+//	fmt.Println(res.Mapping)                // bank funcs, row bits, col bits
+//
+// # Architecture
+//
+// The facade re-exports the stable surface of the internal packages:
+//
+//   - internal/machine — nine simulated machine settings (Table II ground
+//     truth) plus custom machine construction;
+//   - internal/core — the DRAMDig pipeline (coarse detection, Algorithms
+//     1–3, fine-grained shared-bit detection);
+//   - internal/mapping — the address-mapping model (decode/encode,
+//     equivalence, the paper's notation);
+//   - internal/rowhammer — mapping-guided double-sided rowhammer tests;
+//   - internal/drama, internal/xiao, internal/seaborn — baselines;
+//   - internal/eval — regeneration of every table and figure.
+package dramdig
+
+import (
+	"fmt"
+	"io"
+
+	"dramdig/internal/core"
+	"dramdig/internal/dram"
+	"dramdig/internal/eval"
+	"dramdig/internal/machine"
+	"dramdig/internal/mapping"
+	"dramdig/internal/rowhammer"
+)
+
+// Machine is a simulated test machine (re-exported).
+type Machine = machine.Machine
+
+// MachineDefinition declares a machine setting (re-exported).
+type MachineDefinition = machine.Definition
+
+// Mapping is a DRAM address mapping (re-exported).
+type Mapping = mapping.Mapping
+
+// DRAMAddr is a decoded (bank, row, column) tuple (re-exported).
+type DRAMAddr = mapping.DRAMAddr
+
+// Result is a DRAMDig run outcome (re-exported).
+type Result = core.Result
+
+// Flip is an induced rowhammer bit flip (re-exported).
+type Flip = dram.Flip
+
+// Options tunes a facade ReverseEngineer call.
+type Options struct {
+	// Seed drives the tool's internal randomness; the recovered mapping
+	// does not depend on it (DRAMDig is deterministic).
+	Seed int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// Config overrides the full tool configuration when non-nil;
+	// Seed/Log above are ignored in that case.
+	Config *core.Config
+}
+
+// NewMachine builds one of the paper's nine machine settings (no = 1…9).
+// The seed fixes the allocation layout, noise stream and weak-cell
+// population.
+func NewMachine(no int, seed int64) (*Machine, error) {
+	return machine.NewByNo(no, seed)
+}
+
+// NewCustomMachine builds a machine from a definition, for experimenting
+// with configurations beyond the paper's nine.
+func NewCustomMachine(def MachineDefinition, seed int64) (*Machine, error) {
+	return machine.New(def, seed)
+}
+
+// Settings returns the paper's nine machine definitions.
+func Settings() []MachineDefinition { return machine.Settings() }
+
+// ReverseEngineer runs DRAMDig against the machine and returns the
+// recovered mapping with run statistics.
+func ReverseEngineer(m *Machine, opts Options) (*Result, error) {
+	cfg := core.Config{Seed: opts.Seed}
+	if opts.Config != nil {
+		cfg = *opts.Config
+	} else if opts.Log != nil {
+		log := opts.Log
+		cfg.Logf = func(format string, args ...any) {
+			io.WriteString(log, sprintfLine(format, args...))
+		}
+	}
+	tool, err := core.New(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tool.Run()
+}
+
+// HammerConfig tunes a rowhammer assessment (re-exported).
+type HammerConfig = rowhammer.Config
+
+// Hammering modes (re-exported).
+const (
+	// DoubleSided is the paper's Table III methodology.
+	DoubleSided = rowhammer.DoubleSided
+	// OneLocation needs no mapping but only disturbs closed-page
+	// machines.
+	OneLocation = rowhammer.OneLocation
+	// ManySided dilutes DDR4 TRR samplers (TRRespass-style).
+	ManySided = rowhammer.ManySided
+)
+
+// HammerResult is a rowhammer session outcome (re-exported).
+type HammerResult = rowhammer.Result
+
+// Hammer runs one double-sided rowhammer session against the machine
+// using the given mapping (typically a ReverseEngineer result).
+func Hammer(m *Machine, mp *Mapping, cfg HammerConfig) (HammerResult, error) {
+	sess, err := rowhammer.NewSession(m, rowhammer.FromMapping(mp), cfg)
+	if err != nil {
+		return HammerResult{}, err
+	}
+	return sess.Run(), nil
+}
+
+// ExperimentOptions configures experiment regeneration (re-exported).
+type ExperimentOptions = eval.Options
+
+// Experiments groups the evaluation entry points regenerating the
+// paper's artefacts.
+var Experiments = struct {
+	Table1  func(eval.Options) ([]eval.Table1Row, error)
+	Table2  func(eval.Options) ([]eval.Table2Row, error)
+	Figure2 func(eval.Options) ([]eval.Fig2Row, error)
+	Table3  func(eval.Options) ([]eval.Table3Row, error)
+}{
+	Table1:  eval.Table1,
+	Table2:  eval.Table2,
+	Figure2: eval.Figure2,
+	Table3:  eval.Table3,
+}
+
+func sprintfLine(format string, args ...any) string {
+	s := fmt.Sprintf(format, args...)
+	if len(s) == 0 || s[len(s)-1] != '\n' {
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package dramdig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the README's quick-start path.
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := NewMachine(1, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	res, err := ReverseEngineer(m, Options{Seed: 7, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.EquivalentTo(m.Truth()) {
+		t.Errorf("recovered %s, want %s", res.Mapping, m.Truth())
+	}
+	if !strings.Contains(log.String(), "bank functions") {
+		t.Error("progress log empty")
+	}
+}
+
+func TestFacadeSettings(t *testing.T) {
+	s := Settings()
+	if len(s) != 9 {
+		t.Fatalf("%d settings, want 9", len(s))
+	}
+	if s[0].Name != "No.1" || s[8].Name != "No.9" {
+		t.Error("settings misordered")
+	}
+}
+
+func TestFacadeHammer(t *testing.T) {
+	m, err := NewMachine(2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Hammer(m, m.Truth(), HammerConfig{Seed: 1, BudgetSimSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips == 0 {
+		t.Error("no flips on the vulnerable No.2")
+	}
+}
+
+func TestFacadeCustomMachine(t *testing.T) {
+	def := Settings()[3] // No.4
+	def.Name = "clone"
+	m, err := NewCustomMachine(def, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "clone" {
+		t.Errorf("name = %s", m.Name())
+	}
+}
+
+func TestFacadeBadMachine(t *testing.T) {
+	if _, err := NewMachine(17, 1); err == nil {
+		t.Error("invalid setting number accepted")
+	}
+}

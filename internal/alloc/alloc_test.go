@@ -1,0 +1,184 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramdig/internal/addr"
+)
+
+func newTestPool(t testing.TB, cfg Config, seed int64) *Pool {
+	t.Helper()
+	p, err := NewPool(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(8 << 30).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig(8 << 30)
+	bad.MemBytes = 3 << 30
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two memory accepted")
+	}
+	bad = DefaultConfig(8 << 30)
+	bad.PrimaryBytes = 5 << 30
+	if err := bad.Validate(); err == nil {
+		t.Error("oversized primary accepted")
+	}
+	bad = DefaultConfig(8 << 30)
+	bad.PrimaryBytes = 4097
+	if err := bad.Validate(); err == nil {
+		t.Error("unaligned primary accepted")
+	}
+	bad = DefaultConfig(8 << 30)
+	bad.HoleProb = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("HoleProb = 1 accepted")
+	}
+}
+
+func TestPoolInvariants(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 42)
+	pages := p.Pages()
+	if len(pages) == 0 {
+		t.Fatal("empty pool")
+	}
+	for i, pg := range pages {
+		if uint64(pg)%PageSize != 0 {
+			t.Fatalf("page %v not aligned", pg)
+		}
+		if uint64(pg) >= 8<<30 {
+			t.Fatalf("page %v outside memory", pg)
+		}
+		if i > 0 && pages[i-1] >= pg {
+			t.Fatalf("pages not strictly sorted at %d", i)
+		}
+	}
+	if p.NumPages() != len(pages) {
+		t.Error("NumPages mismatch")
+	}
+	if p.Bytes() != uint64(len(pages))*PageSize {
+		t.Error("Bytes mismatch")
+	}
+}
+
+func TestPrimaryRangeContiguous(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 7)
+	start, end := p.PrimaryRange()
+	if end-start != addr.Phys(DefaultConfig(8<<30).PrimaryBytes) {
+		t.Fatalf("primary range size %d", end-start)
+	}
+	if uint64(start)%DefaultConfig(8<<30).PrimaryBytes != 0 {
+		t.Errorf("primary range not self-aligned: %v", start)
+	}
+	if p.PageMiss(start, end) {
+		t.Error("primary range has holes")
+	}
+	for pg := start; pg < end; pg += addr.Phys(PageSize) {
+		if !p.ContainsPage(pg) {
+			t.Fatalf("primary page %v missing", pg)
+		}
+	}
+}
+
+func TestFragmentedPrimary(t *testing.T) {
+	cfg := DefaultConfig(8 << 30)
+	cfg.FragmentPrimary = true
+	cfg.HoleProb = 0.05
+	p := newTestPool(t, cfg, 3)
+	start, end := p.PrimaryRange()
+	if !p.PageMiss(start, end) {
+		t.Error("fragmented primary has no holes (possible but wildly unlikely)")
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 11)
+	pg := p.Pages()[0]
+	if !p.Contains(pg) || !p.Contains(pg+63) || !p.Contains(pg+addr.Phys(PageSize-1)) {
+		t.Error("bytes of an owned page reported absent")
+	}
+}
+
+func TestPageMissDetectsHoles(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 13)
+	start, end := p.PrimaryRange()
+	if p.PageMiss(start, end) {
+		t.Error("unexpected hole in primary")
+	}
+	// A range reaching past the end of memory must miss.
+	if !p.PageMiss(addr.Phys(8<<30)-addr.Phys(PageSize), addr.Phys(8<<30)+addr.Phys(4*PageSize)) {
+		t.Error("range past memory end reported complete")
+	}
+}
+
+func TestRandomAddrAlignmentAndMembership(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 17)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		a := p.RandomAddr(rng, 64)
+		if uint64(a)%64 != 0 {
+			t.Fatalf("unaligned address %v", a)
+		}
+		if !p.Contains(a) {
+			t.Fatalf("address %v outside pool", a)
+		}
+	}
+}
+
+func TestRandomAddrBadAlignment(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 19)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad alignment")
+		}
+	}()
+	p.RandomAddr(rand.New(rand.NewSource(1)), 48)
+}
+
+func TestHolesReduceScatterPages(t *testing.T) {
+	cfg := DefaultConfig(8 << 30)
+	cfg.HoleProb = 0.3
+	holey := newTestPool(t, cfg, 23)
+	cfg2 := DefaultConfig(8 << 30)
+	cfg2.HoleProb = 0
+	full := newTestPool(t, cfg2, 23)
+	if holey.NumPages() >= full.NumPages() {
+		t.Errorf("holes did not reduce page count: %d vs %d", holey.NumPages(), full.NumPages())
+	}
+}
+
+func TestDeterministicLayout(t *testing.T) {
+	a := newTestPool(t, DefaultConfig(8<<30), 31)
+	b := newTestPool(t, DefaultConfig(8<<30), 31)
+	if a.NumPages() != b.NumPages() {
+		t.Fatal("same seed produced different pools")
+	}
+	pa, pb := a.Pages(), b.Pages()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+}
+
+func TestMaxPhys(t *testing.T) {
+	p := newTestPool(t, DefaultConfig(8<<30), 37)
+	last := p.Pages()[p.NumPages()-1]
+	if p.MaxPhys() != last+addr.Phys(PageSize) {
+		t.Errorf("MaxPhys = %v", p.MaxPhys())
+	}
+}
+
+func TestSmallMemoryRejected(t *testing.T) {
+	cfg := DefaultConfig(8 << 30)
+	cfg.MemBytes = 64 << 20 // primary (64 MiB) cannot fit in half of it
+	if _, err := NewPool(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("primary larger than half of memory accepted")
+	}
+}

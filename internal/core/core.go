@@ -1,0 +1,383 @@
+// Package core implements DRAMDig, the paper's knowledge-assisted
+// reverse-engineering tool for DRAM address mappings.
+//
+// DRAMDig proceeds in three steps (paper §III, Figure 1):
+//
+//  1. Coarse-grained row & column bit detection: single-bit and two-bit
+//     flip experiments classify most physical address bits; bits that
+//     also feed bank functions stay hidden ("covered").
+//  2. Bank address function resolving: knowledge-guided physical-address
+//     selection (Algorithm 1), timing-based partition of the selected
+//     addresses into same-bank piles (Algorithm 2), and XOR-mask
+//     enumeration with redundancy elimination and pile numbering
+//     (Algorithm 3).
+//  3. Fine-grained row & column bit detection: using the resolved
+//     functions plus chip-specification bit counts, classify the shared
+//     bits (row/column bits that also feed bank functions).
+//
+// The tool consumes only the timing.Target surface: system information
+// (decode-dimms/dmidecode), its own allocated pages, and the latency
+// primitive. It never sees the simulator's ground truth.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"time"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/mapping"
+	"dramdig/internal/timing"
+)
+
+// Config tunes DRAMDig. Zero values select defaults.
+type Config struct {
+	// Rounds is the alternating-access rounds per raw latency
+	// measurement in detection steps (default 1200).
+	Rounds int
+	// PartitionRounds is the rounds used inside the Algorithm 2 inner
+	// loop, where millions of measurements happen (default 600).
+	PartitionRounds int
+	// Repeats is the median-of-n repeat count for detection
+	// measurements (default 3).
+	Repeats int
+	// CalibSamples is the number of random pairs used for threshold
+	// calibration (default 24 × #banks, at least 768).
+	CalibSamples int
+	// BitTrials is the number of base addresses tried per bit in
+	// coarse detection (default 8).
+	BitTrials int
+	// Delta is Algorithm 2's pile-size tolerance δ (default 0.2).
+	Delta float64
+	// PerThreshold is Algorithm 2's partitioned-fraction stop
+	// threshold (default 0.85).
+	PerThreshold float64
+	// MinPoolAddrs is the minimum number of selected addresses for
+	// Algorithm 2; the selection widens with extra row-bit variation
+	// until it reaches this size (default 4096).
+	MinPoolAddrs int
+	// PileAgreeFrac is the fraction of a pile's members that must agree
+	// on a mask's parity for the mask to count as constant on that pile
+	// (default 0.95); tolerates partition contamination.
+	PileAgreeFrac float64
+	// FuncPileFrac is the fraction of piles a mask must be constant on
+	// to become a candidate function (default 0.9).
+	FuncPileFrac float64
+	// MaxPartitionIters bounds Algorithm 2's retry loop as a multiple
+	// of the bank count (default 8).
+	MaxPartitionIters int
+	// GuardGapSimSeconds throttles routine sentinel drift checks to at
+	// most one per this much simulated time (default 1 s). Post-
+	// operation verification checks are never throttled.
+	GuardGapSimSeconds float64
+	// DisableDriftGuard turns off sentinel-based drift detection and
+	// re-calibration (ablation: without it DRAMDig degrades to
+	// DRAMA-like behaviour on drifting machines).
+	DisableDriftGuard bool
+	// Seed drives the tool's own randomness (base-address choice,
+	// partition order). The recovered mapping must not depend on it —
+	// that is the paper's determinism property.
+	Seed int64
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Rounds == 0 {
+		c.Rounds = 1200
+	}
+	if c.PartitionRounds == 0 {
+		c.PartitionRounds = 600
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	if c.BitTrials == 0 {
+		c.BitTrials = 8
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.2
+	}
+	if c.PerThreshold == 0 {
+		c.PerThreshold = 0.85
+	}
+	if c.MinPoolAddrs == 0 {
+		c.MinPoolAddrs = 4096
+	}
+	if c.PileAgreeFrac == 0 {
+		c.PileAgreeFrac = 0.95
+	}
+	if c.FuncPileFrac == 0 {
+		c.FuncPileFrac = 0.9
+	}
+	if c.MaxPartitionIters == 0 {
+		c.MaxPartitionIters = 8
+	}
+	if c.GuardGapSimSeconds == 0 {
+		c.GuardGapSimSeconds = 1
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("core: Delta %v outside [0,1)", c.Delta)
+	}
+	if c.PerThreshold < 0 || c.PerThreshold > 1 {
+		return fmt.Errorf("core: PerThreshold %v outside [0,1]", c.PerThreshold)
+	}
+	if c.PileAgreeFrac < 0.5 || c.PileAgreeFrac > 1 {
+		return fmt.Errorf("core: PileAgreeFrac %v outside [0.5,1]", c.PileAgreeFrac)
+	}
+	if c.FuncPileFrac < 0.5 || c.FuncPileFrac > 1 {
+		return fmt.Errorf("core: FuncPileFrac %v outside [0.5,1]", c.FuncPileFrac)
+	}
+	return nil
+}
+
+// StepStats records the cost of one DRAMDig step.
+type StepStats struct {
+	// SimSeconds is simulated time spent in the step.
+	SimSeconds float64
+	// Measurements is the number of raw latency measurements.
+	Measurements uint64
+}
+
+// Result is the outcome of a DRAMDig run.
+type Result struct {
+	// Mapping is the recovered DRAM address mapping (validated,
+	// bijective).
+	Mapping *mapping.Mapping
+	// Calibration describes the fitted timing channel.
+	Calibration timing.CalibrationResult
+	// CoarseRowBits and CoarseColBits are the Step 1 results (coarse
+	// column bits include the cache-line offset bits 0–5).
+	CoarseRowBits, CoarseColBits []uint
+	// AssumedRowBits are high bits unreachable within the allocation,
+	// classified as row bits by spec knowledge.
+	AssumedRowBits []uint
+	// BankCandidateBits is the Step 1 leftover set B.
+	BankCandidateBits []uint
+	// SelectedAddrs is the Algorithm 1 pool size (paper §IV-B tracks
+	// this per setting).
+	SelectedAddrs int
+	// Piles is the number of same-bank piles Algorithm 2 produced.
+	Piles int
+	// SharedRowBits and SharedColBits are Step 3's fine-grained
+	// findings.
+	SharedRowBits, SharedColBits []uint
+	// TotalSimSeconds is the simulated time of the whole run; the
+	// paper's Figure 2 plots this quantity.
+	TotalSimSeconds float64
+	// WallSeconds is the host time the simulation took (reported for
+	// transparency; not a paper metric).
+	WallSeconds float64
+	// Measurements is the total number of raw latency measurements.
+	Measurements uint64
+	// Steps breaks cost down by step name: "calibrate", "coarse",
+	// "partition", "resolve", "fine".
+	Steps map[string]StepStats
+}
+
+// Tool is a configured DRAMDig instance.
+type Tool struct {
+	cfg         Config
+	target      timing.Target
+	meter       *timing.Meter // detection measurements (Rounds, Repeats)
+	pmeter      *timing.Meter // partition measurements (PartitionRounds, median of 3)
+	rng         *rand.Rand
+	logf        func(string, ...any)
+	calSamples  int
+	lastGuardNs float64
+	recalibs    int
+}
+
+// driftGuard probes the sentinel pairs and re-calibrates when the timing
+// channel has drifted past the threshold. Routine calls (force=false) are
+// throttled; post-operation verification (force=true) always probes.
+// It reports whether a re-calibration occurred.
+func (t *Tool) driftGuard(force bool) (bool, error) {
+	if t.cfg.DisableDriftGuard || t.meter == nil {
+		return false, nil
+	}
+	if !force && t.target.ClockNs()-t.lastGuardNs < t.cfg.GuardGapSimSeconds*1e9 {
+		return false, nil
+	}
+	t.lastGuardNs = t.target.ClockNs()
+	if t.meter.DriftOK() {
+		return false, nil
+	}
+	cal, err := t.meter.Calibrate(t.rng, t.calSamples)
+	if err != nil {
+		return false, fmt.Errorf("re-calibration: %w", err)
+	}
+	t.pmeter.SetThreshold(cal.Threshold)
+	t.recalibs++
+	t.logf("drift detected: re-calibrated to %s", cal)
+	return true, nil
+}
+
+// measurements sums raw measurements across both meters.
+func (t *Tool) measurements() uint64 {
+	var n uint64
+	if t.meter != nil {
+		n += t.meter.Measurements()
+	}
+	if t.pmeter != nil {
+		n += t.pmeter.Measurements()
+	}
+	return n
+}
+
+// New creates a DRAMDig instance for a target.
+func New(target timing.Target, cfg Config) (*Tool, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Tool{
+		cfg:    cfg,
+		target: target,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		logf:   logf,
+	}, nil
+}
+
+// Run executes the full DRAMDig pipeline.
+func (t *Tool) Run() (*Result, error) {
+	start := time.Now()
+	startClock := t.target.ClockNs()
+	res := &Result{Steps: make(map[string]StepStats)}
+	info := t.target.SysInfo()
+	if err := info.Validate(); err != nil {
+		return nil, fmt.Errorf("dramdig: system information: %w", err)
+	}
+	banks := info.TotalBanks()
+	if banks < 2 {
+		return nil, fmt.Errorf("dramdig: nonsensical bank count %d", banks)
+	}
+	t.logf("target: %s %s, %s, %d banks, %d GiB",
+		info.CPU, info.Microarch, info.Standard, banks, info.MemBytes>>30)
+
+	// Step 0: calibrate the timing channel.
+	meter, err := timing.NewMeter(t.target, t.cfg.Rounds, t.cfg.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	t.meter = meter
+	pmeter, err := timing.NewMeter(t.target, t.cfg.PartitionRounds, 3)
+	if err != nil {
+		return nil, err
+	}
+	t.pmeter = pmeter
+	stepClock, stepMeas := t.target.ClockNs(), t.measurements()
+	calSamples := t.cfg.CalibSamples
+	if calSamples == 0 {
+		calSamples = 24 * banks
+		if calSamples < 768 {
+			calSamples = 768
+		}
+	}
+	t.calSamples = calSamples
+	cal, err := meter.Calibrate(t.rng, calSamples)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig: %w", err)
+	}
+	res.Calibration = cal
+	pmeter.SetThreshold(cal.Threshold)
+	t.logf("calibrated: %s", cal)
+	t.recordStep(res, "calibrate", stepClock, stepMeas)
+
+	// Step 1: coarse row & column detection.
+	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	coarse, err := t.coarseDetect(info)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig step 1: %w", err)
+	}
+	res.CoarseRowBits = coarse.rowBits
+	res.CoarseColBits = coarse.colBits
+	res.AssumedRowBits = coarse.assumedRow
+	res.BankCandidateBits = coarse.bankBits
+	t.recordStep(res, "coarse", stepClock, stepMeas)
+	t.logf("coarse: rows %s (assumed high: %s), cols %s, bank candidates %s",
+		addr.FormatBitRanges(coarse.rowBits), addr.FormatBitRanges(coarse.assumedRow),
+		addr.FormatBitRanges(coarse.colBits), addr.FormatBitRanges(coarse.bankBits))
+
+	// Step 2a: Algorithm 1 — physical address selection.
+	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	sel, err := t.selectAddresses(coarse)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig step 2 (selection): %w", err)
+	}
+	res.SelectedAddrs = len(sel.pool)
+	t.logf("selected %d addresses (range bits %d..%d, extra row bits %s)",
+		len(sel.pool), sel.bMin, sel.bMax, addr.FormatBitRanges(sel.extraBits))
+
+	// Step 2b: Algorithm 2 — partition into piles.
+	piles, err := t.partition(sel.pool, banks)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig step 2 (partition): %w", err)
+	}
+	res.Piles = len(piles)
+	t.recordStep(res, "partition", stepClock, stepMeas)
+	t.logf("partitioned into %d piles (want %d banks)", len(piles), banks)
+
+	// Step 2c: Algorithm 3 — bank address function detection.
+	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	funcs, err := t.resolveFuncs(piles, coarse.bankBits, banks)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig step 2 (resolve): %w", err)
+	}
+	t.recordStep(res, "resolve", stepClock, stepMeas)
+	t.logf("bank functions: %s", formatFuncs(funcs))
+
+	// Step 3: fine-grained shared-bit classification.
+	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	fine, err := t.fineDetect(info, coarse, funcs)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig step 3: %w", err)
+	}
+	res.SharedRowBits = fine.sharedRow
+	res.SharedColBits = fine.sharedCol
+	t.recordStep(res, "fine", stepClock, stepMeas)
+	t.logf("shared row bits %s, shared col bits %s",
+		addr.FormatBitRanges(fine.sharedRow), addr.FormatBitRanges(fine.sharedCol))
+
+	// Assemble and validate the final mapping. Validation doubles as a
+	// consistency proof: row+col+bank bit counts must exactly tile the
+	// physical address space and the map must be bijective.
+	rowBits := append(append(append([]uint(nil), coarse.rowBits...), coarse.assumedRow...), fine.sharedRow...)
+	colBits := append(append([]uint(nil), coarse.colBits...), fine.sharedCol...)
+	m, err := mapping.New(info.PhysBits(), funcs, rowBits, colBits)
+	if err != nil {
+		return nil, fmt.Errorf("dramdig: recovered mapping inconsistent: %w", err)
+	}
+	res.Mapping = m.Canonicalize()
+	res.TotalSimSeconds = (t.target.ClockNs() - startClock) / 1e9
+	res.Measurements = t.measurements()
+	res.WallSeconds = time.Since(start).Seconds()
+	t.logf("done: %s (simulated %.1f s, %d measurements)",
+		res.Mapping, res.TotalSimSeconds, res.Measurements)
+	return res, nil
+}
+
+func (t *Tool) recordStep(res *Result, name string, clock0 float64, meas0 uint64) {
+	res.Steps[name] = StepStats{
+		SimSeconds:   (t.target.ClockNs() - clock0) / 1e9,
+		Measurements: t.measurements() - meas0,
+	}
+}
+
+func formatFuncs(funcs []uint64) string {
+	m := &mapping.Mapping{BankFuncs: funcs}
+	return m.FuncString()
+}
+
+func log2int(n int) int {
+	return bits.Len(uint(n)) - 1
+}

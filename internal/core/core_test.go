@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"dramdig/internal/machine"
+)
+
+// runOn builds setting no with the given seeds and runs DRAMDig.
+func runOn(t *testing.T, no int, machineSeed, toolSeed int64) *Result {
+	t.Helper()
+	m, err := machine.NewByNo(no, machineSeed)
+	if err != nil {
+		t.Fatalf("machine No.%d: %v", no, err)
+	}
+	tool, err := New(m, Config{Seed: toolSeed, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("tool: %v", err)
+	}
+	res, err := tool.Run()
+	if err != nil {
+		t.Fatalf("DRAMDig on No.%d: %v", no, err)
+	}
+	return res
+}
+
+func TestRunNo1(t *testing.T) {
+	m, _ := machine.NewByNo(1, 1)
+	res := runOn(t, 1, 1, 42)
+	if !res.Mapping.EquivalentTo(m.Truth()) {
+		t.Errorf("recovered %s\nwant equivalent of %s", res.Mapping, m.Truth())
+	}
+}
+
+// TestRunAllSettings is the Table II experiment: DRAMDig must recover the
+// ground-truth mapping on every one of the paper's nine settings.
+func TestRunAllSettings(t *testing.T) {
+	for no := 1; no <= 9; no++ {
+		no := no
+		t.Run(machineName(no), func(t *testing.T) {
+			m, err := machine.NewByNo(no, int64(no)*977)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runOn(t, no, int64(no)*977, 42)
+			if !res.Mapping.EquivalentTo(m.Truth()) {
+				t.Errorf("recovered %s\nwant equivalent of %s", res.Mapping, m.Truth())
+			}
+		})
+	}
+}
+
+func machineName(no int) string {
+	def, _ := machine.ByNo(no)
+	return def.Name
+}

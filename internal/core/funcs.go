@@ -1,0 +1,131 @@
+// Step 2c of DRAMDig: bank address function detection (paper
+// Algorithm 3). Every non-empty XOR mask over the candidate bank bits is
+// tested for constancy within each pile; candidates are prioritized by
+// width (fewer bits first), redundant linear combinations are removed via
+// GF(2) span checks, and the final set must number the piles injectively
+// (0 … #banks−1 when all banks were found).
+
+package core
+
+import (
+	"fmt"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/linalg"
+)
+
+// maxBankCandidateBits bounds the mask enumeration (2^n masks). The
+// paper's settings need at most 14.
+const maxBankCandidateBits = 16
+
+// resolveFuncs runs Algorithm 3.
+func (t *Tool) resolveFuncs(piles []*pile, bankBits []uint, banks int) ([]uint64, error) {
+	if len(bankBits) > maxBankCandidateBits {
+		return nil, fmt.Errorf("%d bank-bit candidates exceed enumeration limit %d",
+			len(bankBits), maxBankCandidateBits)
+	}
+	L := log2int(banks)
+	if L == 0 {
+		return nil, fmt.Errorf("single-bank system has no bank functions")
+	}
+
+	// Count, for every mask, the piles it is constant on.
+	bMask := addr.MaskFromBits(bankBits)
+	constCount := make(map[uint64]int)
+	nMasks := 0
+	addr.SubMasks(bMask, func(mask uint64) bool {
+		nMasks++
+		return true
+	})
+	for _, p := range piles {
+		members := p.all()
+		addr.SubMasks(bMask, func(mask uint64) bool {
+			want := p.rep.XorFold(mask)
+			agree := 0
+			for _, a := range members {
+				if a.XorFold(mask) == want {
+					agree++
+				}
+			}
+			if float64(agree) >= t.cfg.PileAgreeFrac*float64(len(members)) {
+				constCount[mask]++
+			}
+			return true
+		})
+	}
+	// Mask evaluation is tool-side CPU work; charge a nominal cost.
+	t.target.AdvanceClock(float64(nMasks*len(piles)) * 50)
+
+	need := int(t.cfg.FuncPileFrac * float64(len(piles)))
+	if need < 1 {
+		need = 1
+	}
+	var candidates []uint64
+	for mask, n := range constCount {
+		if n >= need {
+			candidates = append(candidates, mask)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("no XOR mask is constant across the piles; partition failed")
+	}
+
+	// Prioritize narrow functions and drop linear combinations.
+	cands := linalg.MinimizeByWeight(candidates)
+	if len(cands) < L {
+		return nil, fmt.Errorf("only %d independent functions found, need log2(%d banks) = %d: %v",
+			len(cands), banks, L, formatFuncs(cands))
+	}
+	if len(cands) == L {
+		if !t.numberingValid(piles, cands, banks) {
+			return nil, fmt.Errorf("functions %s do not number the piles injectively", formatFuncs(cands))
+		}
+		return cands, nil
+	}
+
+	// More independent candidates than functions: test every
+	// combination of L of them (in priority order) for valid numbering.
+	idxs := make([]uint, len(cands))
+	for i := range idxs {
+		idxs[i] = uint(i)
+	}
+	var chosen []uint64
+	addr.Combinations(idxs, L, func(sel uint64) bool {
+		var try []uint64
+		for _, i := range addr.BitsFromMask(sel) {
+			try = append(try, cands[i])
+		}
+		if t.numberingValid(piles, try, banks) {
+			chosen = try
+			return false
+		}
+		return true
+	})
+	if chosen == nil {
+		return nil, fmt.Errorf("no combination of %d of %d candidate functions numbers the piles", L, len(cands))
+	}
+	return chosen, nil
+}
+
+// numberingValid checks that the functions assign distinct bank numbers
+// to the pile representatives, and — when every bank was found — that the
+// numbers cover 0 … #banks−1.
+func (t *Tool) numberingValid(piles []*pile, funcs []uint64, banks int) bool {
+	if mat := linalg.NewMatrix(funcs...); !mat.Independent() {
+		return false
+	}
+	seen := make(map[uint64]bool, len(piles))
+	for _, p := range piles {
+		var num uint64
+		for i, f := range funcs {
+			num |= p.rep.XorFold(f) << uint(i)
+		}
+		if num >= uint64(banks) || seen[num] {
+			return false
+		}
+		seen[num] = true
+	}
+	// Distinct values below #banks for #banks piles necessarily cover
+	// the full range; for fewer piles injectivity is the criterion.
+	return true
+}

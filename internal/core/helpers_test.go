@@ -1,0 +1,17 @@
+package core
+
+import (
+	"dramdig/internal/dram"
+	"dramdig/internal/specs"
+	"dramdig/internal/sysinfo"
+)
+
+// Small indirection helpers keeping test literals compact.
+
+func machineStandardDDR3() specs.Standard { return specs.DDR3 }
+
+func machineDIMM(ch, dimm, rank, banks int) sysinfo.DIMMConfig {
+	return sysinfo.DIMMConfig{Channels: ch, DIMMsPerChan: dimm, RanksPerDIMM: rank, BanksPerRank: banks}
+}
+
+func machineInvulnerable() dram.VulnProfile { return dram.Invulnerable }

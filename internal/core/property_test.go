@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dramdig/internal/machine"
+)
+
+// TestRandomMachinesRecovered is the pipeline's property test: DRAMDig
+// must recover the ground-truth mapping of randomly generated,
+// Intel-plausible machines it has never seen. Twelve machines across the
+// three structural families (disjoint / channel-bit / wide-rank-function)
+// give good coverage of the Step 1–3 code paths.
+func TestRandomMachinesRecovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dozen full pipeline runs")
+	}
+	rng := rand.New(rand.NewSource(20240611))
+	for i := 0; i < 12; i++ {
+		def, err := machine.GenerateDefinition(rng)
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+		t.Run(def.Name, func(t *testing.T) {
+			m, err := machine.New(def, int64(1000+i))
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			tool, err := New(m, Config{Seed: int64(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := tool.Run()
+			if err != nil {
+				t.Fatalf("run on %s (%s, %d banks, %d GiB): %v",
+					def.Name, def.Standard, def.Config.TotalBanks(), def.MemBytes>>30, err)
+			}
+			if !res.Mapping.EquivalentTo(m.Truth()) {
+				t.Errorf("recovered %s\nwant       %s", res.Mapping, m.Truth())
+			}
+		})
+	}
+}
+
+// TestReportRendering exercises the run report on a real result.
+func TestReportRendering(t *testing.T) {
+	res := runOn(t, 2, 55, 3)
+	rep := res.Report()
+	for _, want := range []string{
+		"DRAMDig run report",
+		"bank address functions",
+		"row+bank (shared)",
+		"selected addresses",
+		"partition",
+		"measurements",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q\n%s", want, rep)
+		}
+	}
+}

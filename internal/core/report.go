@@ -1,0 +1,61 @@
+// Human-readable run reports: everything an operator of the real tool
+// would want to archive after reverse-engineering a machine.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dramdig/internal/addr"
+)
+
+// Report renders the run outcome as a multi-line text document: the
+// recovered mapping in the paper's notation, the per-bit role table, the
+// detection provenance (coarse vs assumed vs fine-grained) and the cost
+// breakdown per step.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("DRAMDig run report\n")
+	sb.WriteString("==================\n\n")
+
+	fmt.Fprintf(&sb, "Recovered mapping (canonical form):\n")
+	fmt.Fprintf(&sb, "  bank address functions : %s\n", r.Mapping.FuncString())
+	fmt.Fprintf(&sb, "  row bits               : %s\n", addr.FormatBitRanges(r.Mapping.RowBits))
+	fmt.Fprintf(&sb, "  column bits            : %s\n", addr.FormatBitRanges(r.Mapping.ColBits))
+	fmt.Fprintf(&sb, "  banks x rows x cols    : %d x %d x %d (%d GiB)\n\n",
+		r.Mapping.NumBanks(), r.Mapping.NumRows(), r.Mapping.NumCols(),
+		r.Mapping.MemBytes()>>30)
+
+	sb.WriteString("Bit roles:\n")
+	for _, line := range strings.Split(strings.TrimRight(r.Mapping.ExplainTable(), "\n"), "\n") {
+		fmt.Fprintf(&sb, "  %s\n", line)
+	}
+	sb.WriteString("\n")
+
+	sb.WriteString("Detection provenance:\n")
+	fmt.Fprintf(&sb, "  timing channel         : %s\n", r.Calibration)
+	fmt.Fprintf(&sb, "  coarse row bits        : %s\n", addr.FormatBitRanges(r.CoarseRowBits))
+	fmt.Fprintf(&sb, "  assumed row bits (top) : %s\n", addr.FormatBitRanges(r.AssumedRowBits))
+	fmt.Fprintf(&sb, "  coarse column bits     : %s\n", addr.FormatBitRanges(r.CoarseColBits))
+	fmt.Fprintf(&sb, "  bank-bit candidates    : %s\n", addr.FormatBitRanges(r.BankCandidateBits))
+	fmt.Fprintf(&sb, "  shared row bits (fine) : %s\n", addr.FormatBitRanges(r.SharedRowBits))
+	fmt.Fprintf(&sb, "  shared col bits (fine) : %s\n", addr.FormatBitRanges(r.SharedColBits))
+	fmt.Fprintf(&sb, "  selected addresses     : %d (Algorithm 1)\n", r.SelectedAddrs)
+	fmt.Fprintf(&sb, "  same-bank piles        : %d (Algorithm 2)\n\n", r.Piles)
+
+	sb.WriteString("Cost:\n")
+	names := make([]string, 0, len(r.Steps))
+	for name := range r.Steps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Steps[name]
+		fmt.Fprintf(&sb, "  %-10s : %8.1f sim s, %9d measurements\n", name, s.SimSeconds, s.Measurements)
+	}
+	fmt.Fprintf(&sb, "  %-10s : %8.1f sim s, %9d measurements (%.2f s wall)\n",
+		"total", r.TotalSimSeconds, r.Measurements, r.WallSeconds)
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+// Table rendering for the experiment harness: fixed-width ASCII tables
+// for terminal output plus CSV export for plotting.
+
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTable writes an ASCII table.
+func RenderTable(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	sep := strings.Repeat("-", total)
+	fmt.Fprintln(w, sep)
+	renderRow(w, headers, widths)
+	fmt.Fprintln(w, sep)
+	for _, r := range rows {
+		renderRow(w, r, widths)
+	}
+	fmt.Fprintln(w, sep)
+}
+
+func renderRow(w io.Writer, cells []string, widths []int) {
+	var sb strings.Builder
+	sb.WriteString("|")
+	for i, wd := range widths {
+		c := ""
+		if i < len(cells) {
+			c = cells[i]
+		}
+		fmt.Fprintf(&sb, " %-*s |", wd, c)
+	}
+	fmt.Fprintln(w, sb.String())
+}
+
+// RenderCSV writes the same data as CSV (no quoting needed for our cells;
+// commas in cells are replaced by semicolons).
+func RenderCSV(w io.Writer, headers []string, rows [][]string) {
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cols := make([]string, len(headers))
+	for i, h := range headers {
+		cols[i] = clean(h)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, r := range rows {
+		cols = cols[:0]
+		for _, c := range r {
+			cols = append(cols, clean(c))
+		}
+		fmt.Fprintln(w, strings.Join(cols, ","))
+	}
+}
+
+// Bar renders a crude horizontal bar for figure-style output.
+func Bar(value, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}

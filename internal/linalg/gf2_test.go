@@ -1,0 +1,321 @@
+package linalg
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankBasics(t *testing.T) {
+	cases := []struct {
+		rows []Vec
+		want int
+	}{
+		{nil, 0},
+		{[]Vec{0}, 0},
+		{[]Vec{1}, 1},
+		{[]Vec{1, 2, 4}, 3},
+		{[]Vec{1, 2, 3}, 2},        // 3 = 1^2
+		{[]Vec{5, 3, 6}, 2},        // 6 = 5^3
+		{[]Vec{5, 3, 6, 8, 14}, 3}, // 6 = 5^3, 14 = 8^6
+	}
+	for _, c := range cases {
+		if got := NewMatrix(c.rows...).Rank(); got != c.want {
+			t.Errorf("Rank(%v) = %d, want %d", c.rows, got, c.want)
+		}
+	}
+}
+
+// TestRankInvariantUnderRowOps: XORing one row into another preserves
+// rank.
+func TestRankInvariantUnderRowOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		rows := make([]Vec, n)
+		for i := range rows {
+			rows[i] = rng.Uint64() & 0xffffff
+		}
+		m := NewMatrix(rows...)
+		r0 := m.Rank()
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		rows[i] ^= rows[j]
+		if r1 := NewMatrix(rows...).Rank(); r1 != r0 {
+			t.Fatalf("rank changed %d -> %d under row op", r0, r1)
+		}
+	}
+}
+
+func TestInSpan(t *testing.T) {
+	m := NewMatrix(0b0011, 0b0101)
+	for v, want := range map[Vec]bool{
+		0b0000: true,  // zero
+		0b0011: true,  // row
+		0b0101: true,  // row
+		0b0110: true,  // xor of rows
+		0b1000: false, // outside
+		0b0111: false,
+	} {
+		if got := m.InSpan(v); got != want {
+			t.Errorf("InSpan(%#b) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestIndependent(t *testing.T) {
+	if !NewMatrix(1, 2, 4).Independent() {
+		t.Error("unit vectors should be independent")
+	}
+	if NewMatrix(1, 2, 3).Independent() {
+		t.Error("1,2,3 dependent")
+	}
+	if !NewMatrix().Independent() {
+		t.Error("empty matrix is vacuously independent")
+	}
+}
+
+// TestReducedBasisCanonical: any two generating sets of the same span
+// reduce to the identical basis.
+func TestReducedBasisCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		base := make([]Vec, n)
+		for i := range base {
+			base[i] = rng.Uint64() & 0xfffff
+		}
+		// Generate a second set by random invertible combinations.
+		alt := append([]Vec(nil), base...)
+		for k := 0; k < 10; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				alt[i] ^= alt[j]
+			}
+		}
+		// Add redundant combinations.
+		if n >= 2 {
+			alt = append(alt, alt[0]^alt[1])
+		}
+		b1 := NewMatrix(base...).ReducedBasis()
+		b2 := NewMatrix(alt...).ReducedBasis()
+		if len(b1) != len(b2) {
+			t.Fatalf("basis sizes differ: %v vs %v", b1, b2)
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("bases differ: %v vs %v", b1, b2)
+			}
+		}
+	}
+}
+
+func TestSpanEqual(t *testing.T) {
+	a := NewMatrix(0b0011, 0b0101)
+	b := NewMatrix(0b0110, 0b0011)
+	if !SpanEqual(a, b) {
+		t.Error("equal spans not detected")
+	}
+	c := NewMatrix(0b0011, 0b1000)
+	if SpanEqual(a, c) {
+		t.Error("different spans reported equal")
+	}
+}
+
+// TestMinimizeByWeightProperties: output is independent, spans the same
+// space, and is no heavier than the paper's presented functions.
+func TestMinimizeByWeightProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		var cands []Vec
+		for i := 0; i < n; i++ {
+			cands = append(cands, rng.Uint64()&0x3fffff)
+		}
+		// Include some linear combinations explicitly.
+		if n >= 2 {
+			cands = append(cands, cands[0]^cands[1], cands[0])
+		}
+		out := MinimizeByWeight(cands)
+		if !NewMatrix(out...).Independent() {
+			t.Fatalf("output not independent: %v", out)
+		}
+		if !SpanEqual(NewMatrix(cands...), NewMatrix(out...)) {
+			t.Fatalf("span changed")
+		}
+		// Weight-sorted.
+		for i := 1; i < len(out); i++ {
+			if bits.OnesCount64(out[i-1]) > bits.OnesCount64(out[i]) {
+				t.Fatalf("not weight-sorted: %v", out)
+			}
+		}
+	}
+}
+
+// TestMinimizeByWeightPaperExample reproduces the paper's §III-D example:
+// (14,18), (15,19) and (14,15,18,19) — the third is redundant.
+func TestMinimizeByWeightPaperExample(t *testing.T) {
+	f1 := Vec(1<<14 | 1<<18)
+	f2 := Vec(1<<15 | 1<<19)
+	f3 := f1 ^ f2
+	out := MinimizeByWeight([]Vec{f3, f1, f2})
+	if len(out) != 2 {
+		t.Fatalf("got %d functions, want 2", len(out))
+	}
+	if out[0] != f1 && out[1] != f1 || out[0] != f2 && out[1] != f2 {
+		t.Fatalf("wrong basis: %v", out)
+	}
+}
+
+// TestSolveRoundTrip: for random full-rank systems, Solve recovers a
+// solution satisfying every equation.
+func TestSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		rows := make([]Vec, n)
+		for i := range rows {
+			rows[i] = rng.Uint64() & 0xffff
+		}
+		x := rng.Uint64() & 0xffff
+		var b Vec
+		for i, r := range rows {
+			b |= uint64(bits.OnesCount64(r&x)&1) << uint(i)
+		}
+		sol, ok := Solve(NewMatrix(rows...), b)
+		if !ok {
+			t.Fatalf("consistent system reported unsolvable")
+		}
+		for i, r := range rows {
+			want := (b >> uint(i)) & 1
+			if got := uint64(bits.OnesCount64(r&sol) & 1); got != want {
+				t.Fatalf("equation %d violated", i)
+			}
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x1 = 0 and x1 = 1 simultaneously.
+	m := NewMatrix(1, 1)
+	if _, ok := Solve(m, 0b01); ok {
+		t.Error("inconsistent system reported solvable")
+	}
+	if _, ok := Solve(m, 0b00); !ok {
+		t.Error("consistent system reported unsolvable")
+	}
+}
+
+// TestNullspaceOrthogonal: every basis vector has even parity against
+// every constraint, stays in the universe, and the dimension is
+// |universe| - rank(constraints).
+func TestNullspaceOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		universe := rng.Uint64() & 0xffffff
+		if universe == 0 {
+			continue
+		}
+		var constraints []Vec
+		for i := 0; i < rng.Intn(8); i++ {
+			constraints = append(constraints, rng.Uint64()&universe)
+		}
+		basis := Nullspace(constraints, universe)
+		// Dimension check.
+		restricted := make([]Vec, 0, len(constraints))
+		for _, c := range constraints {
+			restricted = append(restricted, c&universe)
+		}
+		wantDim := bits.OnesCount64(universe) - NewMatrix(restricted...).Rank()
+		if len(basis) != wantDim {
+			t.Fatalf("nullspace dim %d, want %d", len(basis), wantDim)
+		}
+		for _, f := range basis {
+			if f&^universe != 0 {
+				t.Fatalf("basis vector %#x outside universe %#x", f, universe)
+			}
+			for _, c := range constraints {
+				if bits.OnesCount64(f&c)%2 != 0 {
+					t.Fatalf("basis vector %#x not orthogonal to %#x", f, c)
+				}
+			}
+		}
+		if !NewMatrix(basis...).Independent() {
+			t.Fatalf("nullspace basis dependent")
+		}
+	}
+}
+
+// TestNullspaceRecoverFuncs is the Seaborn use case: kernel vectors of
+// the true bank functions must yield a nullspace containing them.
+func TestNullspaceRecoverFuncs(t *testing.T) {
+	funcs := []Vec{1<<14 | 1<<17, 1<<15 | 1<<18, 1<<16 | 1<<19}
+	universe := Vec(0)
+	for b := 13; b <= 20; b++ {
+		universe |= 1 << uint(b)
+	}
+	// Generate many kernel vectors (even parity against all funcs).
+	rng := rand.New(rand.NewSource(7))
+	var kernel []Vec
+	for len(kernel) < 40 {
+		x := rng.Uint64() & universe
+		ok := true
+		for _, f := range funcs {
+			if bits.OnesCount64(x&f)%2 != 0 {
+				ok = false
+			}
+		}
+		if ok && x != 0 {
+			kernel = append(kernel, x)
+		}
+	}
+	basis := Nullspace(kernel, universe)
+	span := NewMatrix(basis...)
+	for _, f := range funcs {
+		if !span.InSpan(f) {
+			t.Errorf("true function %#x not in recovered space", f)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrix(1, 2)
+	c := m.Clone()
+	c.Rows[0] = 99
+	if m.Rows[0] != 1 {
+		t.Error("clone shares storage")
+	}
+}
+
+// TestQuickSpanMembership: v^w in span when v, w in span.
+func TestQuickSpanMembership(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		m := NewMatrix(a, b, c)
+		return m.InSpan(a^b) && m.InSpan(a^c) && m.InSpan(a^b^c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRank6x64(b *testing.B) {
+	rows := []Vec{0x3f<<10 ^ 0x5, 0xff00, 0xf0f0, 0x1111, 0xabcdef, 0x424242}
+	for i := 0; i < b.N; i++ {
+		_ = NewMatrix(rows...).Rank()
+	}
+}
+
+func BenchmarkMinimizeByWeight(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	cands := make([]Vec, 31)
+	for i := range cands {
+		cands[i] = rng.Uint64() & 0x7fffff
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinimizeByWeight(cands)
+	}
+}

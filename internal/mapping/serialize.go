@@ -1,0 +1,157 @@
+// Serialization and explanation support: mappings round-trip through
+// JSON (for storing reverse-engineering results, as the real tool's users
+// would), and Explain produces a per-bit role table for human inspection.
+
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dramdig/internal/addr"
+)
+
+// mappingJSON is the stable wire format: the paper's own notation.
+type mappingJSON struct {
+	// PhysBits is the physical address width.
+	PhysBits uint `json:"phys_bits"`
+	// BankFuncs uses the paper's "(14, 18)" notation, one per entry.
+	BankFuncs []string `json:"bank_funcs"`
+	// RowBits and ColBits use the paper's range notation ("17~32").
+	RowBits string `json:"row_bits"`
+	ColBits string `json:"col_bits"`
+}
+
+// MarshalJSON encodes the mapping in the paper's notation.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	funcs := make([]string, len(m.BankFuncs))
+	for i, f := range m.BankFuncs {
+		funcs[i] = addr.FormatBits(addr.BitsFromMask(f))
+	}
+	return json.Marshal(mappingJSON{
+		PhysBits:  m.PhysBits,
+		BankFuncs: funcs,
+		RowBits:   addr.FormatBitRanges(m.RowBits),
+		ColBits:   addr.FormatBitRanges(m.ColBits),
+	})
+}
+
+// UnmarshalJSON decodes and validates a mapping.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var w mappingJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	funcs, err := ParseFuncs(strings.Join(w.BankFuncs, ", "))
+	if err != nil {
+		return fmt.Errorf("mapping: bank funcs: %w", err)
+	}
+	rows, err := ParseBitRanges(w.RowBits)
+	if err != nil {
+		return fmt.Errorf("mapping: row bits: %w", err)
+	}
+	cols, err := ParseBitRanges(w.ColBits)
+	if err != nil {
+		return fmt.Errorf("mapping: col bits: %w", err)
+	}
+	parsed, err := New(w.PhysBits, funcs, rows, cols)
+	if err != nil {
+		return err
+	}
+	*m = *parsed
+	return nil
+}
+
+// BitRole describes how one physical address bit is used.
+type BitRole struct {
+	// Bit is the physical bit position.
+	Bit uint
+	// Row and Col report index membership.
+	Row, Col bool
+	// Funcs lists the bank functions (by index into BankFuncs) the bit
+	// feeds.
+	Funcs []int
+}
+
+// Kind renders the composite role name the paper uses: "row", "column",
+// "bank", "row+bank" / "column+bank" for shared bits.
+func (r BitRole) Kind() string {
+	switch {
+	case r.Row && len(r.Funcs) > 0:
+		return "row+bank (shared)"
+	case r.Col && len(r.Funcs) > 0:
+		return "column+bank (shared)"
+	case r.Row:
+		return "row"
+	case r.Col:
+		return "column"
+	case len(r.Funcs) > 0:
+		return "bank"
+	default:
+		return "unused"
+	}
+}
+
+// Explain returns the role of every physical address bit, ascending.
+func (m *Mapping) Explain() []BitRole {
+	rowSet := addr.MaskFromBits(m.RowBits)
+	colSet := addr.MaskFromBits(m.ColBits)
+	roles := make([]BitRole, 0, m.PhysBits)
+	for b := uint(0); b < m.PhysBits; b++ {
+		r := BitRole{Bit: b}
+		bit := uint64(1) << b
+		r.Row = rowSet&bit != 0
+		r.Col = colSet&bit != 0
+		for i, f := range m.BankFuncs {
+			if f&bit != 0 {
+				r.Funcs = append(r.Funcs, i)
+			}
+		}
+		roles = append(roles, r)
+	}
+	return roles
+}
+
+// ExplainTable renders the role table as text, grouping consecutive bits
+// with identical roles into ranges.
+func (m *Mapping) ExplainTable() string {
+	roles := m.Explain()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "physical address bits 0..%d\n", m.PhysBits-1)
+
+	type group struct {
+		lo, hi uint
+		desc   string
+	}
+	var groups []group
+	desc := func(r BitRole) string {
+		d := r.Kind()
+		if len(r.Funcs) > 0 {
+			names := make([]string, len(r.Funcs))
+			for i, fi := range r.Funcs {
+				names[i] = addr.FormatBits(addr.BitsFromMask(m.BankFuncs[fi]))
+			}
+			sort.Strings(names)
+			d += " via " + strings.Join(names, " ")
+		}
+		return d
+	}
+	for _, r := range roles {
+		d := desc(r)
+		if n := len(groups); n > 0 && groups[n-1].desc == d && groups[n-1].hi+1 == r.Bit {
+			groups[n-1].hi = r.Bit
+			continue
+		}
+		groups = append(groups, group{lo: r.Bit, hi: r.Bit, desc: d})
+	}
+	for _, g := range groups {
+		if g.lo == g.hi {
+			fmt.Fprintf(&sb, "  bit %2d     : %s\n", g.lo, g.desc)
+		} else {
+			fmt.Fprintf(&sb, "  bits %2d-%-2d : %s\n", g.lo, g.hi, g.desc)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package mapping
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, m := range []*Mapping{no1(t), no2(t)} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mapping
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v (data %s)", err, data)
+		}
+		if !m.EquivalentTo(&back) {
+			t.Errorf("roundtrip changed mapping: %s vs %s", m, &back)
+		}
+		if back.PhysBits != m.PhysBits {
+			t.Errorf("phys bits %d vs %d", back.PhysBits, m.PhysBits)
+		}
+	}
+}
+
+func TestJSONUsesPaperNotation(t *testing.T) {
+	data, err := json.Marshal(no1(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"(14, 17)"`, `"17~32"`, `"0~5, 7~13"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s: %s", want, s)
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"phys_bits":33,"bank_funcs":["(nope)"],"row_bits":"17~32","col_bits":"0~5"}`,
+		`{"phys_bits":33,"bank_funcs":["(6)"],"row_bits":"bad","col_bits":"0~5"}`,
+		// Structurally valid JSON but an inconsistent mapping.
+		`{"phys_bits":33,"bank_funcs":["(6)"],"row_bits":"17~32","col_bits":"0~5"}`,
+	}
+	for _, c := range cases {
+		var m Mapping
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestExplainRoles(t *testing.T) {
+	m := no2(t)
+	roles := m.Explain()
+	if len(roles) != 33 {
+		t.Fatalf("%d roles, want 33", len(roles))
+	}
+	byBit := map[uint]BitRole{}
+	for _, r := range roles {
+		byBit[r.Bit] = r
+	}
+	if k := byBit[0].Kind(); k != "column" {
+		t.Errorf("bit 0 kind %q", k)
+	}
+	if k := byBit[8].Kind(); k != "column+bank (shared)" {
+		t.Errorf("bit 8 kind %q", k)
+	}
+	if k := byBit[18].Kind(); k != "row+bank (shared)" {
+		t.Errorf("bit 18 kind %q", k)
+	}
+	if k := byBit[14].Kind(); k != "bank" {
+		t.Errorf("bit 14 kind %q", k)
+	}
+	if k := byBit[25].Kind(); k != "row" {
+		t.Errorf("bit 25 kind %q", k)
+	}
+	// Bit 18 feeds two functions on No.2.
+	if len(byBit[18].Funcs) != 2 {
+		t.Errorf("bit 18 feeds %d functions, want 2", len(byBit[18].Funcs))
+	}
+}
+
+func TestExplainTableGrouping(t *testing.T) {
+	table := no1(t).ExplainTable()
+	for _, want := range []string{
+		"bits  0-5  : column",
+		"bit  6     : bank via (6)",
+		"bits  7-13 : column",
+		"bits 20-32 : row",
+		"row+bank (shared) via (14, 17)",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("explain table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/dram"
+	"dramdig/internal/mapping"
+)
+
+// mappingDRAMAddr is sugar for building DRAM tuples in tests.
+func mappingDRAMAddr(bank, row, col uint64) mapping.DRAMAddr {
+	return mapping.DRAMAddr{Bank: bank, Row: row, Col: col}
+}
+
+// quiet returns a noise-free timing model for deterministic assertions.
+func quiet() Params {
+	p := DesktopParams()
+	p.JitterSigmaNs = 0
+	p.OutlierProb = 0
+	p.MeasOutlierProb = 0
+	p.DriftAmpNs = 0
+	return p
+}
+
+// testMapping is the paper's No.1 mapping.
+func testMapping(t testing.TB) *mapping.Mapping {
+	t.Helper()
+	funcs, err := mapping.ParseFuncs("(6), (14, 17), (15, 18), (16, 19)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := mapping.ParseBitRanges("17~32")
+	cols, _ := mapping.ParseBitRanges("0~5, 7~13")
+	m, err := mapping.New(33, funcs, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newCtrl(t testing.TB, p Params) (*Controller, *mapping.Mapping) {
+	t.Helper()
+	m := testMapping(t)
+	dev, err := dram.NewDevice(dram.Geometry{
+		Banks:       m.NumBanks(),
+		RowsPerBank: m.NumRows(),
+		RowBytes:    m.NumCols(),
+	}, dram.VulnProfile{
+		WeakRowFrac: 0.3, MaxWeakPerRow: 4,
+		ThresholdMin: 200_000, ThresholdMax: 2_000_000,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(p, m, dev, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DesktopParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := MobileParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DesktopParams()
+	bad.RowConflictNs = bad.RowHitNs
+	if err := bad.Validate(); err == nil {
+		t.Error("conflict <= hit accepted")
+	}
+	bad = DesktopParams()
+	bad.OutlierProb = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	bad = DesktopParams()
+	bad.DriftAmpNs = 5
+	bad.DriftStepSeconds = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("drift without step accepted")
+	}
+	bad = DesktopParams()
+	bad.MeasOutlierHiNs = bad.MeasOutlierLoNs - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted outlier range accepted")
+	}
+}
+
+func TestGeometryMismatchRejected(t *testing.T) {
+	m := testMapping(t)
+	dev, _ := dram.NewDevice(dram.Geometry{Banks: 8, RowsPerBank: 8, RowBytes: 64}, dram.Invulnerable, 1)
+	if _, err := New(quiet(), m, dev, 1); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+// TestRowBufferSequence drives the faithful Access path through a
+// hit/conflict scenario and checks latencies and counters.
+func TestRowBufferSequence(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	p := quiet()
+	a := addr.Phys(0x100000)
+	sameRow := a + 128                                  // same row, different column
+	conflict, err := m.RowNeighbor(a, 1)                // same bank, next row
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lat := c.Access(a); lat != p.RowConflictNs+p.FlushNs {
+		t.Errorf("cold access latency %v", lat)
+	}
+	if lat := c.Access(sameRow); lat != p.RowHitNs+p.FlushNs {
+		t.Errorf("open-row access latency %v", lat)
+	}
+	if lat := c.Access(conflict); lat != p.RowConflictNs+p.FlushNs {
+		t.Errorf("conflict access latency %v", lat)
+	}
+	if lat := c.Access(a); lat != p.RowConflictNs+p.FlushNs {
+		t.Errorf("re-open access latency %v", lat)
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.RowHits != 1 || st.Conflicts != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestMeasurePairClassification: SBDR pairs measure high, same-row and
+// different-bank pairs low.
+func TestMeasurePairClassification(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	p := quiet()
+	a := addr.Phys(0x2345000)
+	sbdr, _ := m.RowNeighbor(a, 3)
+	sameRow := a + 128
+	diffBank := a.FlipBit(6) // channel bit
+
+	high := c.MeasurePair(a, sbdr, 100)
+	lowRow := c.MeasurePair(a, sameRow, 100)
+	lowBank := c.MeasurePair(a, diffBank, 100)
+	wantHigh := p.RowConflictNs + p.FlushNs
+	wantLow := p.RowHitNs + p.FlushNs
+	if math.Abs(high-wantHigh) > 0.01 {
+		t.Errorf("SBDR latency %v, want %v", high, wantHigh)
+	}
+	if math.Abs(lowRow-wantLow) > 0.01 || math.Abs(lowBank-wantLow) > 0.01 {
+		t.Errorf("low latencies %v/%v, want %v", lowRow, lowBank, wantLow)
+	}
+}
+
+// TestMeasurePairMatchesLoop cross-validates the closed-form measurement
+// against the faithful loop under full noise: sample means of both paths
+// must agree within a small tolerance.
+func TestMeasurePairMatchesLoop(t *testing.T) {
+	p := DesktopParams()
+	p.MeasOutlierProb = 0 // whole-loop outliers skew small samples
+	p.DriftAmpNs = 0
+	const rounds, n = 400, 400
+
+	run := func(loop bool) float64 {
+		c, m := newCtrl(t, p)
+		a := addr.Phys(0x2345000)
+		b, _ := m.RowNeighbor(a, 3)
+		var sum float64
+		for i := 0; i < n; i++ {
+			if loop {
+				sum += c.MeasurePairLoop(a, b, rounds)
+			} else {
+				sum += c.MeasurePair(a, b, rounds)
+			}
+		}
+		return sum / n
+	}
+	closed, loop := run(false), run(true)
+	if math.Abs(closed-loop) > 1.5 {
+		t.Errorf("closed-form mean %.2f vs loop mean %.2f", closed, loop)
+	}
+}
+
+// TestMeasurePairClockCharge: the simulated clock advances by the full
+// loop duration regardless of path.
+func TestMeasurePairClockCharge(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	p := quiet()
+	a := addr.Phys(0x2345000)
+	b, _ := m.RowNeighbor(a, 3)
+	before := c.ClockNs()
+	c.MeasurePair(a, b, 500)
+	want := 1000*(p.RowConflictNs+p.FlushNs) + p.MeasOverheadNs
+	if got := c.ClockNs() - before; math.Abs(got-want) > 0.01 {
+		t.Errorf("clock advanced %.1f, want %.1f", got, want)
+	}
+	if c.Stats().Measurements != 1 {
+		t.Errorf("measurements = %d", c.Stats().Measurements)
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	c, _ := newCtrl(t, quiet())
+	c.AdvanceClock(12345)
+	if c.ClockNs() != 12345 {
+		t.Errorf("clock = %v", c.ClockNs())
+	}
+}
+
+// TestHammerPairFlipsOnlySBDR: bursts on same-row or different-bank pairs
+// never flip.
+func TestHammerPairFlipsOnlySBDR(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	a := addr.Phys(0x2345000)
+	if flips := c.HammerPair(a, a+256, 1<<21); len(flips) != 0 {
+		t.Errorf("same-row hammer flipped %d cells", len(flips))
+	}
+	if flips := c.HammerPair(a, a.FlipBit(6), 1<<21); len(flips) != 0 {
+		t.Errorf("cross-bank hammer flipped %d cells", len(flips))
+	}
+	// A sandwich burst on a vulnerable device should flip something
+	// across enough victims.
+	total := 0
+	for i := 0; i < 300; i++ {
+		v := a + addr.Phys(i)*addr.Phys(1<<17)*4
+		below, err1 := m.RowNeighbor(v, -1)
+		above, err2 := m.RowNeighbor(v, 1)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		total += len(c.HammerPair(below, above, 90_000))
+	}
+	if total == 0 {
+		t.Error("no flips from 300 double-sided bursts on a vulnerable device")
+	}
+}
+
+// TestHammerPairClock: burst time equals 2·acts·(latency+flush).
+func TestHammerPairClock(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	p := quiet()
+	a := addr.Phys(0x2345000)
+	b, _ := m.RowNeighbor(a, 2)
+	before := c.ClockNs()
+	c.HammerPair(a, b, 1000)
+	want := 2000 * (p.RowConflictNs + p.FlushNs)
+	if got := c.ClockNs() - before; math.Abs(got-want) > 0.01 {
+		t.Errorf("burst charged %.0f ns, want %.0f", got, want)
+	}
+}
+
+// TestDriftStepsAreStepwise: the drift level is constant within a window
+// and bounded by the amplitude.
+func TestDriftSteps(t *testing.T) {
+	p := quiet()
+	p.DriftAmpNs = 40
+	p.DriftStepSeconds = 10
+	c, m := newCtrl(t, p)
+	a := addr.Phys(0x2345000)
+	b, _ := m.RowNeighbor(a, 3)
+	base := quiet().RowConflictNs + quiet().FlushNs
+
+	levels := map[float64]bool{}
+	var prev float64
+	changes := 0
+	for i := 0; i < 400; i++ {
+		// Two back-to-back measurements land in the same window…
+		v1 := c.MeasurePair(a, b, 500) - base
+		v2 := c.MeasurePair(a, b, 500) - base
+		if v1 != v2 {
+			t.Fatalf("drift changed within a window: %v vs %v", v1, v2)
+		}
+		if math.Abs(v1) > 40.01 {
+			t.Fatalf("drift %v exceeds amplitude", v1)
+		}
+		if i > 0 && v1 != prev {
+			changes++
+		}
+		prev = v1
+		levels[v1] = true
+		// …then jump most of a window ahead.
+		c.AdvanceClock(3e9)
+	}
+	if len(levels) < 3 {
+		t.Errorf("drift produced only %d distinct levels", len(levels))
+	}
+	if changes == 0 {
+		t.Error("drift never changed level across windows")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	a := addr.Phys(0x2345000)
+	b, _ := m.RowNeighbor(a, 3)
+	c.MeasurePair(a, b, 100)
+	clock := c.ClockNs()
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not cleared")
+	}
+	if c.ClockNs() != clock {
+		t.Error("clock must survive reset")
+	}
+	// Row buffers cleared: first access conflicts again.
+	if lat := c.Access(a); lat != quiet().RowConflictNs+quiet().FlushNs {
+		t.Errorf("row buffer survived reset (latency %v)", lat)
+	}
+}
+
+func TestTruthAndDeviceAccessors(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	if c.Truth() != m {
+		t.Error("Truth() returns wrong mapping")
+	}
+	if c.Device() == nil {
+		t.Error("Device() nil")
+	}
+	if c.Params().RowHitNs != quiet().RowHitNs {
+		t.Error("Params() wrong")
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c, _ := newCtrl(b, DesktopParams())
+	a := addr.Phys(0x2345000)
+	for i := 0; i < b.N; i++ {
+		_ = c.Access(a + addr.Phys(i&0xffff)*64)
+	}
+}
+
+func BenchmarkMeasurePairClosedForm(b *testing.B) {
+	c, m := newCtrl(b, DesktopParams())
+	a := addr.Phys(0x2345000)
+	p, _ := m.RowNeighbor(a, 3)
+	for i := 0; i < b.N; i++ {
+		_ = c.MeasurePair(a, p, 1200)
+	}
+}
+
+func BenchmarkMeasurePairLoop(b *testing.B) {
+	c, m := newCtrl(b, DesktopParams())
+	a := addr.Phys(0x2345000)
+	p, _ := m.RowNeighbor(a, 3)
+	for i := 0; i < b.N; i++ {
+		_ = c.MeasurePairLoop(a, p, 1200)
+	}
+}
+
+// TestHammerManyGroupsByBank: a many-sided burst whose addresses span two
+// banks disturbs each bank's neighbourhood independently.
+func TestHammerManyGroupsByBank(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	v := addr.Phys(0x2345000)
+	d := m.Decode(v)
+	var group []addr.Phys
+	for i := 0; i < 4; i++ {
+		p, err := m.Encode(mappingDRAMAddr(d.Bank, d.Row+uint64(2*i), d.Col))
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, p)
+	}
+	flips := c.HammerMany(group, 90_000)
+	// The three sandwiched victims should produce some flips on the
+	// vulnerable test device across a few base rows.
+	total := len(flips)
+	for j := 1; j < 40; j++ {
+		group2 := make([]addr.Phys, 0, 4)
+		for i := 0; i < 4; i++ {
+			p, err := m.Encode(mappingDRAMAddr(d.Bank, d.Row+uint64(2*i)+uint64(100*j), d.Col))
+			if err != nil {
+				t.Fatal(err)
+			}
+			group2 = append(group2, p)
+		}
+		total += len(c.HammerMany(group2, 90_000))
+	}
+	if total == 0 {
+		t.Error("many-sided bursts induced no flips on the vulnerable device")
+	}
+}
+
+// TestHammerManyClock: the burst charges len(addrs)*acts conflict-path
+// accesses.
+func TestHammerManyClock(t *testing.T) {
+	c, m := newCtrl(t, quiet())
+	p := quiet()
+	v := addr.Phys(0x2345000)
+	d := m.Decode(v)
+	var group []addr.Phys
+	for i := 0; i < 6; i++ {
+		a, err := m.Encode(mappingDRAMAddr(d.Bank, d.Row+uint64(2*i), d.Col))
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, a)
+	}
+	before := c.ClockNs()
+	c.HammerMany(group, 1000)
+	want := 6 * 1000 * (p.RowConflictNs + p.FlushNs)
+	if got := c.ClockNs() - before; math.Abs(got-want) > 0.01 {
+		t.Errorf("burst charged %.0f ns, want %.0f", got, want)
+	}
+}
+
+// TestHammerOneOpenPageInert: one-location hammering on the default
+// open-page controller disturbs nothing and costs only row hits.
+func TestHammerOneOpenPage(t *testing.T) {
+	c, _ := newCtrl(t, quiet())
+	p := quiet()
+	a := addr.Phys(0x2345000)
+	before := c.ClockNs()
+	if flips := c.HammerOne(a, 1000); flips != nil {
+		t.Errorf("open-page one-location flipped %d cells", len(flips))
+	}
+	want := 1000 * (p.RowHitNs + p.FlushNs)
+	if got := c.ClockNs() - before; math.Abs(got-want) > 0.01 {
+		t.Errorf("charged %.0f ns, want %.0f (row-hit path)", got, want)
+	}
+}

@@ -1,0 +1,110 @@
+package rowhammer
+
+import (
+	"testing"
+
+	"dramdig/internal/dram"
+	"dramdig/internal/machine"
+)
+
+// trrMachine clones the DDR4 setting No.6 with an aggressive TRR sampler
+// and the lower per-cell thresholds of newer dies — the configuration
+// TRRespass-style many-sided hammering was invented for.
+func trrMachine(t testing.TB) *machine.Machine {
+	t.Helper()
+	def, err := machine.ByNo(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def.Name = "No.6-trr"
+	def.Vuln = dram.VulnProfile{
+		WeakRowFrac:   0.15,
+		MaxWeakPerRow: 3,
+		ThresholdMin:  60_000,
+		ThresholdMax:  140_000,
+		TRRProb:       0.9,
+		TRRCapacity:   2,
+	}
+	m, err := machine.New(def, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestManySidedBeatsDoubleSidedUnderTRR: with a sampler that catches a
+// double-sided pair 90% of the time, an 8-sided group dilutes the catch
+// probability and induces clearly more flips in the same session budget.
+func TestManySidedBeatsDoubleSidedUnderTRR(t *testing.T) {
+	m1 := trrMachine(t)
+	ds, err := NewSession(m1, FromMapping(m1.Truth()), Config{Seed: 4, BudgetSimSeconds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsRes := ds.Run()
+
+	m2 := trrMachine(t)
+	ms, err := NewSession(m2, FromMapping(m2.Truth()), Config{
+		Mode: ManySided, Aggressors: 8, Seed: 4, BudgetSimSeconds: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msRes := ms.Run()
+
+	t.Logf("double-sided: %s; many-sided: %s", dsRes, msRes)
+	if msRes.Flips <= dsRes.Flips {
+		t.Errorf("many-sided (%d flips) should beat double-sided (%d) under TRR",
+			msRes.Flips, dsRes.Flips)
+	}
+}
+
+// TestManySidedValidation: mode constraints are enforced.
+func TestManySidedValidation(t *testing.T) {
+	m := trrMachine(t)
+	if _, err := NewSession(m, ToolMapping{Funcs: m.Truth().BankFuncs, RowBits: m.Truth().RowBits},
+		Config{Mode: ManySided}); err == nil {
+		t.Error("many-sided without a complete mapping accepted")
+	}
+	if _, err := NewSession(m, FromMapping(m.Truth()), Config{Mode: ManySided, Aggressors: 5}); err == nil {
+		t.Error("odd aggressor count accepted")
+	}
+	if _, err := NewSession(m, FromMapping(m.Truth()), Config{Mode: ManySided, Aggressors: 2}); err == nil {
+		t.Error("too-small aggressor count accepted")
+	}
+}
+
+// TestManySidedRespectsBankGrouping: all aggressors of a group land in
+// one bank (per the mapping), so HammerMany hits a single sampler.
+func TestManySidedRespectsBankGrouping(t *testing.T) {
+	m := trrMachine(t)
+	s, err := NewSession(m, FromMapping(m.Truth()), Config{Mode: ManySided, Aggressors: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := m.Truth()
+	built := 0
+	for i := 0; i < 500 && built < 100; i++ {
+		v := m.Pool().RandomAddr(s.rng, 64)
+		group, ok := s.manySidedGroup(v)
+		if !ok {
+			continue
+		}
+		built++
+		bank := truth.Decode(group[0]).Bank
+		prev := truth.Decode(group[0]).Row
+		for _, a := range group[1:] {
+			d := truth.Decode(a)
+			if d.Bank != bank {
+				t.Fatalf("aggressor outside the group bank")
+			}
+			if d.Row != prev+2 {
+				t.Fatalf("aggressor rows not in +2 ladder: %d after %d", d.Row, prev)
+			}
+			prev = d.Row
+		}
+	}
+	if built < 100 {
+		t.Fatalf("only %d groups built", built)
+	}
+}

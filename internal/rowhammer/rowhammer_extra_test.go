@@ -1,0 +1,129 @@
+package rowhammer
+
+import (
+	"testing"
+
+	"dramdig/internal/dram"
+	"dramdig/internal/machine"
+)
+
+// TestWrongMappingCollapsesYield: shifting the believed row bits away
+// from the true ones destroys sandwich alignment and slashes the flip
+// count — the effect Table III quantifies.
+func TestWrongMappingCollapsesYield(t *testing.T) {
+	m, err := machine.NewByNo(2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := m.Truth()
+
+	good, err := NewSession(m, FromMapping(truth), Config{Seed: 1, BudgetSimSeconds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodRes := good.Run()
+
+	wrong := ToolMapping{Funcs: truth.BankFuncs, RowBits: truth.RowBits[2:]}
+	bad, err := NewSession(m, wrong, Config{Seed: 1, BudgetSimSeconds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badRes := bad.Run()
+
+	if goodRes.Flips == 0 {
+		t.Fatal("correct mapping induced no flips")
+	}
+	if badRes.Flips*2 >= goodRes.Flips {
+		t.Errorf("wrong mapping too effective: %d vs %d", badRes.Flips, goodRes.Flips)
+	}
+}
+
+// TestSessionRespectsBudget: the session ends within a small overrun of
+// its simulated budget.
+func TestSessionRespectsBudget(t *testing.T) {
+	m, _ := machine.NewByNo(1, 3)
+	s, _ := NewSession(m, FromMapping(m.Truth()), Config{Seed: 2, BudgetSimSeconds: 30})
+	res := s.Run()
+	if res.SimSeconds < 30 || res.SimSeconds > 31 {
+		t.Errorf("session ran %.2f s for a 30 s budget", res.SimSeconds)
+	}
+	if res.Victims == 0 {
+		t.Error("no victims hammered")
+	}
+}
+
+// TestFlipsDedupedAcrossSession: re-running with the same seed yields the
+// same count (determinism) and each reported flip is distinct.
+func TestSessionDeterministic(t *testing.T) {
+	counts := make([]int, 2)
+	for i := range counts {
+		m, _ := machine.NewByNo(2, 44)
+		s, _ := NewSession(m, FromMapping(m.Truth()), Config{Seed: 9, BudgetSimSeconds: 60})
+		counts[i] = s.Run().Flips
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("sessions differ: %d vs %d", counts[0], counts[1])
+	}
+}
+
+// TestPatchBankProducesSameBank: the partial-belief fallback yields
+// aggressor pairs the belief itself considers same-bank as the victim.
+func TestPatchBankProducesSameBank(t *testing.T) {
+	m, _ := machine.NewByNo(2, 5)
+	truth := m.Truth()
+	// Partial belief: correct funcs and rows but no validated Full
+	// mapping — the DRAMA-style fallback path.
+	belief := ToolMapping{Funcs: truth.BankFuncs, RowBits: truth.RowBits}
+	s, err := NewSession(m, belief, Config{Seed: 4, BudgetSimSeconds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := 0; i < 3000 && checked < 300; i++ {
+		v := m.Pool().RandomAddr(s.rng, 64)
+		a1, a2, ok := s.aggressors(v)
+		if !ok {
+			continue
+		}
+		checked++
+		for _, f := range belief.Funcs {
+			if v.XorFold(f) != a1.XorFold(f) || v.XorFold(f) != a2.XorFold(f) {
+				t.Fatalf("aggressors not in the victim's bank under the belief")
+			}
+		}
+		// With a CORRECT partial belief the pair must truly sandwich.
+		dv, d1, d2 := truth.Decode(v), truth.Decode(a1), truth.Decode(a2)
+		if d1.Bank != dv.Bank || d2.Bank != dv.Bank {
+			t.Fatalf("true banks differ despite correct belief")
+		}
+		if d1.Row != dv.Row-1 || d2.Row != dv.Row+1 {
+			t.Fatalf("rows %d/%d do not sandwich %d", d1.Row, d2.Row, dv.Row)
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d aggressor pairs constructed", checked)
+	}
+}
+
+// TestNoRowBitsRejected: a belief without row bits cannot hammer.
+func TestNoRowBitsRejected(t *testing.T) {
+	m, _ := machine.NewByNo(1, 6)
+	if _, err := NewSession(m, ToolMapping{Funcs: m.Truth().BankFuncs}, Config{}); err == nil {
+		t.Error("belief without row bits accepted")
+	}
+}
+
+// TestInvulnerableMachineYieldsNothing: the driver reports zero flips on
+// a machine with no weak cells.
+func TestInvulnerableMachineYieldsNothing(t *testing.T) {
+	def, _ := machine.ByNo(1)
+	def.Vuln = dram.Invulnerable
+	m, err := machine.New(def, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewSession(m, FromMapping(m.Truth()), Config{Seed: 3, BudgetSimSeconds: 60})
+	if res := s.Run(); res.Flips != 0 {
+		t.Errorf("invulnerable machine flipped %d cells", res.Flips)
+	}
+}

@@ -1,0 +1,36 @@
+package rowhammer
+
+import (
+	"testing"
+
+	"dramdig/internal/machine"
+)
+
+// TestFlipMagnitudes checks the per-session flip yields with the ground
+// truth mapping are in the calibrated bands for the paper's Table III
+// machines (No.1 moderate, No.2 high, No.5 near zero).
+func TestFlipMagnitudes(t *testing.T) {
+	wants := []struct {
+		no       int
+		min, max int
+	}{
+		{1, 150, 900},
+		{2, 500, 1600},
+		{5, 1, 40},
+	}
+	for _, w := range wants {
+		m, err := machine.NewByNo(w.no, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(m, FromMapping(m.Truth()), Config{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		t.Logf("No.%d: %s", w.no, res)
+		if res.Flips < w.min || res.Flips > w.max {
+			t.Errorf("No.%d: %d flips outside calibrated band [%d, %d]", w.no, res.Flips, w.min, w.max)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package sysinfo models the "System Information" category of DRAMDig's
+// domain knowledge: the facts a tool can read from decode-dimms and
+// dmidecode on a live system — DIMM population, per-DIMM geometry, total
+// bank count, memory size and ECC support.
+//
+// The package also renders a dmidecode/decode-dimms-style text report so
+// the CLI output resembles what an operator of the real tool would see.
+package sysinfo
+
+import (
+	"fmt"
+	"strings"
+
+	"dramdig/internal/specs"
+)
+
+// DIMMConfig is the paper's configuration quadruple:
+// (channels, DIMMs per channel, ranks per DIMM, banks per rank).
+type DIMMConfig struct {
+	Channels     int
+	DIMMsPerChan int
+	RanksPerDIMM int
+	BanksPerRank int
+}
+
+// String renders the quadruple in the paper's "2, 1, 2, 8" style.
+func (c DIMMConfig) String() string {
+	return fmt.Sprintf("%d, %d, %d, %d", c.Channels, c.DIMMsPerChan, c.RanksPerDIMM, c.BanksPerRank)
+}
+
+// Validate checks the quadruple.
+func (c DIMMConfig) Validate() error {
+	for _, v := range []struct {
+		name string
+		n    int
+	}{
+		{"channels", c.Channels},
+		{"DIMMs per channel", c.DIMMsPerChan},
+		{"ranks per DIMM", c.RanksPerDIMM},
+		{"banks per rank", c.BanksPerRank},
+	} {
+		if v.n <= 0 || v.n&(v.n-1) != 0 {
+			return fmt.Errorf("sysinfo: %s = %d is not a positive power of two", v.name, v.n)
+		}
+	}
+	return nil
+}
+
+// TotalBanks returns the total bank count (channel, DIMM and rank folded
+// in, as the paper's bank tuple does).
+func (c DIMMConfig) TotalBanks() int {
+	return c.Channels * c.DIMMsPerChan * c.RanksPerDIMM * c.BanksPerRank
+}
+
+// Info is everything DRAMDig's Step 2 and Step 3 consume from the system.
+type Info struct {
+	// Microarch is the CPU microarchitecture ("Sandy Bridge", …).
+	Microarch string
+	// CPU is the processor model string.
+	CPU string
+	// Standard is the DRAM standard (DDR3/DDR4).
+	Standard specs.Standard
+	// MemBytes is the total physical memory size.
+	MemBytes uint64
+	// Config is the DIMM population quadruple.
+	Config DIMMConfig
+	// Chip is the DRAM chip geometry from decode-dimms / the data
+	// sheet.
+	Chip specs.ChipSpec
+	// ECC reports whether the DIMMs are ECC-protected. (All of the
+	// paper's test machines are non-ECC consumer parts.)
+	ECC bool
+}
+
+// Validate checks internal consistency: the DIMM population must account
+// for the advertised memory size given the chip geometry.
+func (i Info) Validate() error {
+	if err := i.Config.Validate(); err != nil {
+		return err
+	}
+	if i.MemBytes == 0 || i.MemBytes&(i.MemBytes-1) != 0 {
+		return fmt.Errorf("sysinfo: memory size %d is not a power of two", i.MemBytes)
+	}
+	if i.Chip.Standard != i.Standard {
+		return fmt.Errorf("sysinfo: chip standard %s does not match system standard %s",
+			i.Chip.Standard, i.Standard)
+	}
+	if i.Config.BanksPerRank != i.Chip.BanksPerRank {
+		return fmt.Errorf("sysinfo: config says %d banks/rank, chip says %d",
+			i.Config.BanksPerRank, i.Chip.BanksPerRank)
+	}
+	return nil
+}
+
+// TotalBanks is shorthand for Config.TotalBanks().
+func (i Info) TotalBanks() int { return i.Config.TotalBanks() }
+
+// PhysBits returns log2(MemBytes).
+func (i Info) PhysBits() uint {
+	var b uint
+	for s := i.MemBytes; s > 1; s >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Report renders a decode-dimms/dmidecode-flavoured summary.
+func (i Info) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Processor:        %s (%s)\n", i.CPU, i.Microarch)
+	fmt.Fprintf(&sb, "Memory type:      %s\n", i.Standard)
+	fmt.Fprintf(&sb, "Total size:       %d GiB (%d-bit physical space)\n",
+		i.MemBytes>>30, i.PhysBits())
+	fmt.Fprintf(&sb, "Population:       %d channel(s) x %d DIMM(s) x %d rank(s) x %d bank(s)\n",
+		i.Config.Channels, i.Config.DIMMsPerChan, i.Config.RanksPerDIMM, i.Config.BanksPerRank)
+	fmt.Fprintf(&sb, "Total banks:      %d\n", i.TotalBanks())
+	fmt.Fprintf(&sb, "DRAM chip:        %s\n", i.Chip)
+	fmt.Fprintf(&sb, "Row bits (spec):  %d\n", i.Chip.PhysRowBits())
+	fmt.Fprintf(&sb, "Col bits (spec):  %d\n", i.Chip.PhysColBits())
+	fmt.Fprintf(&sb, "ECC:              %v\n", i.ECC)
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package sysinfo
+
+import (
+	"strings"
+	"testing"
+
+	"dramdig/internal/specs"
+)
+
+func testInfo(t testing.TB) Info {
+	t.Helper()
+	chip, err := specs.Lookup("MT41K512M8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Info{
+		Microarch: "Sandy Bridge",
+		CPU:       "i5-2400",
+		Standard:  specs.DDR3,
+		MemBytes:  8 << 30,
+		Config:    DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
+		Chip:      chip,
+	}
+}
+
+func TestDIMMConfig(t *testing.T) {
+	c := DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalBanks() != 32 {
+		t.Errorf("TotalBanks = %d", c.TotalBanks())
+	}
+	if c.String() != "2, 1, 2, 8" {
+		t.Errorf("String = %q", c.String())
+	}
+	for _, bad := range []DIMMConfig{
+		{Channels: 0, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
+		{Channels: 3, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
+		{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 12},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestInfoValidate(t *testing.T) {
+	info := testInfo(t)
+	if err := info.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := info
+	bad.MemBytes = 7 << 30
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two memory accepted")
+	}
+	bad = info
+	bad.Standard = specs.DDR4
+	if err := bad.Validate(); err == nil {
+		t.Error("chip standard mismatch accepted")
+	}
+	bad = info
+	bad.Config.BanksPerRank = 16
+	if err := bad.Validate(); err == nil {
+		t.Error("banks-per-rank mismatch accepted")
+	}
+}
+
+func TestPhysBits(t *testing.T) {
+	info := testInfo(t)
+	if info.PhysBits() != 33 {
+		t.Errorf("PhysBits = %d, want 33", info.PhysBits())
+	}
+	info.MemBytes = 4 << 30
+	if info.PhysBits() != 32 {
+		t.Errorf("PhysBits = %d, want 32", info.PhysBits())
+	}
+}
+
+func TestTotalBanks(t *testing.T) {
+	if got := testInfo(t).TotalBanks(); got != 16 {
+		t.Errorf("TotalBanks = %d", got)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	r := testInfo(t).Report()
+	for _, want := range []string{
+		"i5-2400", "Sandy Bridge", "DDR3", "8 GiB", "33-bit",
+		"2 channel(s)", "Total banks:      16", "MT41K512M8",
+		"Row bits (spec):  16", "Col bits (spec):  13",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Latency histogram support: a reusable bucketed view of the timing
+// channel, used by the timing-histogram example and by diagnostics.
+
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dramdig/internal/addr"
+)
+
+// Histogram is a fixed-range bucketed latency distribution with optional
+// ground-truth labelling (conflict vs other) for visualization.
+type Histogram struct {
+	Lo, Hi   float64
+	Conflict []int // per bucket, samples labelled as conflicts
+	Other    []int // per bucket, unlabelled / non-conflict samples
+}
+
+// NewHistogram builds an empty histogram with the given range and bucket
+// count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("timing: need at least 2 buckets")
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("timing: invalid range [%v, %v]", lo, hi)
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Conflict: make([]int, buckets),
+		Other:    make([]int, buckets),
+	}, nil
+}
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.Other) }
+
+// BucketWidth returns one bucket's latency span.
+func (h *Histogram) BucketWidth() float64 {
+	return (h.Hi - h.Lo) / float64(h.Buckets())
+}
+
+// bucketOf clamps a value into a bucket index.
+func (h *Histogram) bucketOf(v float64) int {
+	idx := int((v - h.Lo) / h.BucketWidth())
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= h.Buckets() {
+		idx = h.Buckets() - 1
+	}
+	return idx
+}
+
+// Add records a sample; conflict labels it as a ground-truth row-buffer
+// conflict (pass false when no label is available).
+func (h *Histogram) Add(v float64, conflict bool) {
+	if conflict {
+		h.Conflict[h.bucketOf(v)]++
+	} else {
+		h.Other[h.bucketOf(v)]++
+	}
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() int {
+	n := 0
+	for i := range h.Other {
+		n += h.Other[i] + h.Conflict[i]
+	}
+	return n
+}
+
+// Render draws the histogram with per-bucket counts and an optional
+// threshold marker. 'o' marks non-conflict samples, '#' conflicts.
+func (h *Histogram) Render(threshold float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	maxCount := 1
+	for i := range h.Other {
+		if n := h.Other[i] + h.Conflict[i]; n > maxCount {
+			maxCount = n
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %-6s %s\n", "ns", "count", "o = buffered/other-bank, # = row-buffer conflict")
+	w := h.BucketWidth()
+	for i := range h.Other {
+		center := h.Lo + (float64(i)+0.5)*w
+		bar := strings.Repeat("o", h.Other[i]*width/maxCount) +
+			strings.Repeat("#", h.Conflict[i]*width/maxCount)
+		marker := ""
+		if threshold >= h.Lo+float64(i)*w && threshold < h.Lo+float64(i+1)*w {
+			marker = " <-- threshold"
+		}
+		fmt.Fprintf(&sb, "%8.1f  %-5d %s%s\n", center, h.Other[i]+h.Conflict[i], bar, marker)
+	}
+	return sb.String()
+}
+
+// SampleChannel fills a histogram with n random-pair samples from the
+// meter's target, labelling them with the provided oracle (pass nil for
+// unlabelled sampling). The histogram range derives from the calibration.
+func SampleChannel(meter *Meter, cal CalibrationResult, rng *rand.Rand, n, buckets int,
+	oracle func(a, b addr.Phys) bool) (*Histogram, error) {
+	h, err := NewHistogram(cal.LowCenter-10, cal.HighCenter+10, buckets)
+	if err != nil {
+		return nil, err
+	}
+	pool := meter.target.Pool()
+	for i := 0; i < n; i++ {
+		a := pool.RandomAddr(rng, 1<<CacheLineBits)
+		b := pool.RandomAddr(rng, 1<<CacheLineBits)
+		if a == b {
+			continue
+		}
+		v := meter.Sample(a, b)
+		h.Add(v, oracle != nil && oracle(a, b))
+	}
+	return h, nil
+}

@@ -1,0 +1,89 @@
+package timing
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram(100, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(105, false) // bucket 0
+	h.Add(195, true)  // bucket 9
+	h.Add(50, false)  // clamped to bucket 0
+	h.Add(500, true)  // clamped to bucket 9
+	if h.Other[0] != 2 || h.Conflict[9] != 2 {
+		t.Errorf("bucketing wrong: %+v", h)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.BucketWidth() != 10 {
+		t.Errorf("width = %v", h.BucketWidth())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(10, 5, 8); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewHistogram(0, 10, 1); err == nil {
+		t.Error("single bucket accepted")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(300, 360, 6)
+	for i := 0; i < 30; i++ {
+		h.Add(305, false)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(345, true)
+	}
+	out := h.Render(325, 40)
+	if !strings.Contains(out, "<-- threshold") {
+		t.Error("threshold marker missing")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "#") {
+		t.Error("bars missing")
+	}
+}
+
+// TestSampleChannelBimodal: sampling the real channel produces the
+// expected two modes with the conflicts above the threshold.
+func TestSampleChannelBimodal(t *testing.T) {
+	m := no1(t)
+	meter, _ := NewMeter(m, 1200, 3)
+	rng := rand.New(rand.NewSource(6))
+	cal, err := meter.Calibrate(rng, 768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := SampleChannel(meter, cal, rng, 1500, 24, m.Truth().SBDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All conflict-labelled mass must sit above the threshold bucket,
+	// all other mass below (small spill tolerated).
+	thIdx := h.bucketOf(cal.Threshold)
+	misplacedConf, misplacedOther, conf, other := 0, 0, 0, 0
+	for i := range h.Other {
+		conf += h.Conflict[i]
+		other += h.Other[i]
+		if i < thIdx {
+			misplacedConf += h.Conflict[i]
+		} else {
+			misplacedOther += h.Other[i]
+		}
+	}
+	if conf == 0 {
+		t.Fatal("no conflict samples at all")
+	}
+	if float64(misplacedConf) > 0.05*float64(conf) || float64(misplacedOther) > 0.05*float64(other) {
+		t.Errorf("modes overlap: %d/%d conflicts below threshold, %d/%d others above",
+			misplacedConf, conf, misplacedOther, other)
+	}
+}

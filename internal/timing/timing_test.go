@@ -1,0 +1,186 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dramdig/internal/machine"
+)
+
+func no1(t testing.TB) *machine.Machine {
+	t.Helper()
+	m, err := machine.NewByNo(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeterValidation(t *testing.T) {
+	m := no1(t)
+	if _, err := NewMeter(m, 2, 1); err == nil {
+		t.Error("tiny rounds accepted")
+	}
+	if _, err := NewMeter(m, 100, 0); err == nil {
+		t.Error("zero repeats accepted")
+	}
+	if _, err := NewMeter(m, 100, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateSeparatesModes(t *testing.T) {
+	m := no1(t)
+	meter, _ := NewMeter(m, 1200, 3)
+	cal, err := meter.Calibrate(rand.New(rand.NewSource(1)), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Separation() < 25 {
+		t.Errorf("separation %.1f ns too small", cal.Separation())
+	}
+	if cal.Threshold <= cal.LowCenter || cal.Threshold >= cal.HighCenter {
+		t.Errorf("threshold %.1f outside (%f, %f)", cal.Threshold, cal.LowCenter, cal.HighCenter)
+	}
+	// Random pairs land in the same bank ≈ 1/16 of the time.
+	if cal.HighFrac < 0.02 || cal.HighFrac > 0.15 {
+		t.Errorf("high fraction %.3f implausible for 16 banks", cal.HighFrac)
+	}
+	if meter.Threshold() != cal.Threshold {
+		t.Error("meter did not adopt the threshold")
+	}
+}
+
+// TestIsConflictAgainstTruth: after calibration, the meter's SBDR
+// decisions agree with ground truth on hundreds of random pairs.
+func TestIsConflictAgainstTruth(t *testing.T) {
+	m := no1(t)
+	meter, _ := NewMeter(m, 1200, 3)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := meter.Calibrate(rng, 1024); err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	const n = 600
+	for i := 0; i < n; i++ {
+		a := m.Pool().RandomAddr(rng, 64)
+		b := m.Pool().RandomAddr(rng, 64)
+		if a == b {
+			continue
+		}
+		if meter.IsConflict(a, b) != m.Truth().SBDR(a, b) {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / n; frac > 0.02 {
+		t.Errorf("%.1f%% misclassification, want < 2%%", frac*100)
+	}
+}
+
+func TestSampleMedianRobustness(t *testing.T) {
+	// Median of odd repeats tolerates one wild sample.
+	if got := Median([]float64{10, 1000, 12}); got != 12 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Median([]float64{10, 20}); got != 15 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+}
+
+func TestMeasurementCounting(t *testing.T) {
+	m := no1(t)
+	meter, _ := NewMeter(m, 600, 3)
+	a := m.Pool().Pages()[0]
+	meter.Sample(a, a+128)
+	if meter.Measurements() != 3 {
+		t.Errorf("measurements = %d, want 3", meter.Measurements())
+	}
+	meter.SampleN(a, a+128, 5)
+	if meter.Measurements() != 8 {
+		t.Errorf("measurements = %d, want 8", meter.Measurements())
+	}
+	meter.SetThreshold(1)
+	meter.IsConflictOnce(a, a+128)
+	if meter.Measurements() != 9 {
+		t.Errorf("measurements = %d, want 9", meter.Measurements())
+	}
+}
+
+// TestDriftOKDetectsShift: sentinels flag a manually shifted threshold.
+func TestDriftOKDetectsShift(t *testing.T) {
+	m := no1(t)
+	meter, _ := NewMeter(m, 1200, 3)
+	cal, err := meter.Calibrate(rand.New(rand.NewSource(3)), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meter.DriftOK() {
+		t.Fatal("fresh calibration reported drifted")
+	}
+	// Simulate a stale threshold: move it below the low mode — now the
+	// low sentinel classifies as conflict.
+	meter.SetThreshold(cal.LowCenter - 20)
+	if meter.DriftOK() {
+		t.Error("grossly wrong threshold not detected")
+	}
+	// And above the high mode.
+	meter.SetThreshold(cal.HighCenter + 20)
+	if meter.DriftOK() {
+		t.Error("threshold above the conflict mode not detected")
+	}
+}
+
+func TestDriftOKWithoutSentinels(t *testing.T) {
+	m := no1(t)
+	meter, _ := NewMeter(m, 600, 1)
+	if !meter.DriftOK() {
+		t.Error("meter without sentinels must report OK")
+	}
+}
+
+func TestTwoMeansDegenerate(t *testing.T) {
+	if _, _, _, ok := twoMeans([]float64{1, 2}); ok {
+		t.Error("too few samples accepted")
+	}
+	same := make([]float64, 50)
+	for i := range same {
+		same[i] = 7
+	}
+	if _, _, _, ok := twoMeans(same); ok {
+		t.Error("constant samples accepted")
+	}
+}
+
+func TestTwoMeansBimodal(t *testing.T) {
+	var vals []float64
+	for i := 0; i < 900; i++ {
+		vals = append(vals, 300+float64(i%10)/10)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, 340+float64(i%10)/10)
+	}
+	lo, hi, frac, ok := twoMeans(vals)
+	if !ok {
+		t.Fatal("bimodal data rejected")
+	}
+	if math.Abs(lo-300.45) > 1 || math.Abs(hi-340.45) > 1 {
+		t.Errorf("centers %.1f / %.1f", lo, hi)
+	}
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("high fraction %.3f, want 0.1", frac)
+	}
+}
+
+func TestCalibrateTooFewPages(t *testing.T) {
+	// A machine pool always has pages; exercise the sample floor path
+	// instead: tiny sample counts are raised to a workable minimum.
+	m := no1(t)
+	meter, _ := NewMeter(m, 1200, 1)
+	if _, err := meter.Calibrate(rand.New(rand.NewSource(4)), 1); err != nil {
+		t.Fatalf("minimum sample floor failed: %v", err)
+	}
+}
