@@ -10,8 +10,10 @@
 package dramdig
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"dramdig/internal/core"
@@ -19,7 +21,6 @@ import (
 	"dramdig/internal/eval"
 	"dramdig/internal/machine"
 )
-
 
 // BenchmarkTable2 regenerates Table II: DRAMDig's recovered mappings on
 // the nine machine settings.
@@ -270,5 +271,40 @@ func BenchmarkDRAMAConvergence(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.TotalSimSeconds, "sim_s")
+	}
+}
+
+// --- Campaign throughput ---------------------------------------------
+
+// BenchmarkCampaign contrasts sequential and pooled execution of one
+// campaign over the four cheapest paper settings. On multi-core hosts the
+// pooled variant's machines/s scales with GOMAXPROCS; on a single core
+// the two are expected to tie (pure CPU-bound simulation).
+func BenchmarkCampaign(b *testing.B) {
+	all := PaperCampaign(42)
+	specs := []CampaignSpec{all[0], all[3], all[6], all[7]} // No.1, No.4, No.7, No.8
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("pooled-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunCampaign(context.Background(), specs, CampaignConfig{
+					Workers: bc.workers,
+					Seed:    1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Succeeded != len(specs) {
+					b.Fatalf("campaign degraded: %d/%d jobs ok", rep.Succeeded, rep.Total)
+				}
+			}
+			b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "machines/s")
+		})
 	}
 }

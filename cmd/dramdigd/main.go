@@ -1,0 +1,117 @@
+// Command dramdigd serves DRAM address-mapping reverse engineering as a
+// JSON HTTP daemon: clients submit campaigns over the paper's nine
+// machine settings, generated machines or custom definitions; the daemon
+// fans them across a worker pool, caches results content-addressed by
+// machine fingerprint, and serves cached mappings directly.
+//
+// Usage:
+//
+//	dramdigd [-addr :8080] [-cache-dir DIR] [-workers N] [-retries N] [-v]
+//
+// API:
+//
+//	POST /campaigns              submit a campaign, returns {"id": "c1", ...}
+//	GET  /campaigns/{id}         status, streamed progress events, report
+//	GET  /mappings/{fingerprint} cached mapping by machine fingerprint
+//	GET  /healthz                liveness + store statistics
+//
+// Example:
+//
+//	curl -s localhost:8080/campaigns -d '{"machines":[-1],"seed":42}'
+//	curl -s localhost:8080/campaigns/c1
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight campaigns are
+// cancelled via context and drained before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dramdig/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheDir   = flag.String("cache-dir", "", "persist results as JSON under this directory (empty: memory only)")
+		maxEntries = flag.Int("cache-entries", 128, "in-memory LRU capacity")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "default campaign worker pool size")
+		retries    = flag.Int("retries", 1, "extra attempts per failed job (0 disables retries)")
+		verbose    = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dramdigd: "+format+"\n", args...)
+		}
+	}
+
+	st, err := store.Open(store.Config{Dir: *cacheDir, MaxEntries: *maxEntries})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// campaign.Config treats Retries==0 as "use the default"; the flag's
+	// 0 genuinely means no retries, which the engine spells -1.
+	r := *retries
+	if r == 0 {
+		r = -1
+	}
+	srv := newServer(ctx, st, *workers, r, logf)
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     srv,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dramdigd: listening on %s (workers %d, cache %q)\n", *addr, *workers, *cacheDir)
+
+	select {
+	case <-ctx.Done():
+		// Release the signal handler immediately: a second SIGINT/SIGTERM
+		// now force-kills instead of being swallowed while we drain.
+		stop()
+		fmt.Fprintln(os.Stderr, "dramdigd: shutting down (signal again to force)")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Stop accepting connections, then drain cancelled campaigns — with a
+	// deadline, since a job mid-pipeline only notices cancellation
+	// between attempts.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dramdigd: shutdown:", err)
+	}
+	drained := make(chan struct{})
+	go func() { srv.drain(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		fmt.Fprintln(os.Stderr, "dramdigd: campaigns still draining after 30s, exiting anyway")
+	}
+	fmt.Fprintln(os.Stderr, "dramdigd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramdigd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,508 @@
+// The dramdigd HTTP surface: a handler struct wiring campaigns and the
+// result store behind a JSON API. Kept separate from main so tests can
+// drive it through httptest without sockets or signals.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dramdig/internal/campaign"
+	"dramdig/internal/core"
+	"dramdig/internal/machine"
+	"dramdig/internal/specs"
+	"dramdig/internal/store"
+	"dramdig/internal/sysinfo"
+)
+
+// server is the daemon's handler. Campaigns run asynchronously on the
+// base context, so cancelling it (process shutdown) drains them.
+type server struct {
+	mux     *http.ServeMux
+	st      *store.Store
+	baseCtx context.Context
+	workers int
+	retries int
+	logf    func(format string, args ...any)
+	// runCampaign is campaign.Run, injectable for handler tests.
+	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
+
+	mu        sync.Mutex
+	nextID    int
+	running   int
+	campaigns map[string]*campaignState
+	// order tracks campaign insertion for eviction: finished campaigns
+	// past maxCampaigns are dropped oldest-first so a long-lived daemon
+	// doesn't hoard every report ever produced.
+	order []string
+
+	wg sync.WaitGroup // running campaigns
+}
+
+// campaignState tracks one submitted campaign.
+type campaignState struct {
+	mu     sync.Mutex
+	id     string
+	status string // "running", "done", "failed"
+	total  int
+	done   int
+	events []campaign.Event
+	report *campaign.Report
+	errMsg string
+}
+
+func newServer(baseCtx context.Context, st *store.Store, workers, retries int, logf func(string, ...any)) *server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &server{
+		st:          st,
+		baseCtx:     baseCtx,
+		workers:     workers,
+		retries:     retries,
+		logf:        logf,
+		runCampaign: campaign.Run,
+		campaigns:   make(map[string]*campaignState),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /campaigns", s.handleCreateCampaign)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("GET /mappings/{fingerprint}", s.handleGetMapping)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// maxCampaigns bounds retained campaign states (running ones never count
+// against the bound — they are skipped by eviction). maxCampaignJobs
+// bounds one request's job count and maxRunning the concurrently
+// executing campaigns; both keep a hostile client from pinning the
+// daemon's memory or cores with cheap POSTs.
+const (
+	maxCampaigns    = 64
+	maxCampaignJobs = 256
+	maxRunning      = 8
+)
+
+// drain blocks until every in-flight campaign goroutine has finished;
+// call after cancelling the base context.
+func (s *server) drain() { s.wg.Wait() }
+
+// --- request/response shapes -----------------------------------------
+
+// customSpec is a user-supplied machine definition in plain JSON (the
+// paper's notation for the mapping fields).
+type customSpec struct {
+	Name         string `json:"name"`
+	Microarch    string `json:"microarch"`
+	CPU          string `json:"cpu"`
+	Mobile       bool   `json:"mobile"`
+	Standard     string `json:"standard"` // "DDR3" or "DDR4"
+	MemBytes     uint64 `json:"mem_bytes"`
+	Channels     int    `json:"channels"`
+	DIMMsPerChan int    `json:"dimms_per_channel"`
+	RanksPerDIMM int    `json:"ranks_per_dimm"`
+	BanksPerRank int    `json:"banks_per_rank"`
+	Chip         string `json:"chip"`
+	BankFuncs    string `json:"bank_funcs"`
+	RowBits      string `json:"row_bits"`
+	ColBits      string `json:"col_bits"`
+}
+
+func (c customSpec) definition() (machine.Definition, error) {
+	var std specs.Standard
+	switch c.Standard {
+	case "DDR3":
+		std = specs.DDR3
+	case "DDR4":
+		std = specs.DDR4
+	default:
+		return machine.Definition{}, fmt.Errorf("standard %q (want DDR3 or DDR4)", c.Standard)
+	}
+	name := c.Name
+	if name == "" {
+		name = "custom"
+	}
+	return machine.Definition{
+		Name:      name,
+		Microarch: c.Microarch,
+		CPU:       c.CPU,
+		Mobile:    c.Mobile,
+		Standard:  std,
+		MemBytes:  c.MemBytes,
+		Config: sysinfo.DIMMConfig{
+			Channels: c.Channels, DIMMsPerChan: c.DIMMsPerChan,
+			RanksPerDIMM: c.RanksPerDIMM, BanksPerRank: c.BanksPerRank,
+		},
+		ChipPart:  c.Chip,
+		BankFuncs: c.BankFuncs,
+		RowBits:   c.RowBits,
+		ColBits:   c.ColBits,
+	}, nil
+}
+
+// campaignRequest is the POST /campaigns body. At least one machine
+// source must be present; sources combine into one campaign.
+type campaignRequest struct {
+	// Machines lists paper setting numbers (1-9); -1 expands to all nine.
+	Machines []int `json:"machines,omitempty"`
+	// Generated adds n randomly generated machines.
+	Generated int `json:"generated,omitempty"`
+	// Custom adds user-defined machines.
+	Custom []customSpec `json:"custom,omitempty"`
+	// Seed drives machine construction and the tool (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers overrides the daemon's worker cap for this campaign.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (s *server) buildSpecs(req campaignRequest, seed int64) ([]campaign.Spec, error) {
+	// Bound the job count before anything allocates proportionally to
+	// the request; a negative generated count must not be allowed to
+	// drive the estimate down.
+	if req.Generated < 0 {
+		return nil, fmt.Errorf("generated count %d is negative", req.Generated)
+	}
+	est := len(req.Custom) + req.Generated
+	for _, no := range req.Machines {
+		if no == -1 {
+			est += len(machine.Settings())
+		} else {
+			est++
+		}
+	}
+	if est > maxCampaignJobs {
+		return nil, fmt.Errorf("campaign of %d jobs exceeds the limit of %d", est, maxCampaignJobs)
+	}
+	var out []campaign.Spec
+	for _, no := range req.Machines {
+		if no == -1 {
+			out = append(out, campaign.PaperSpecs(seed)...)
+			continue
+		}
+		spec, err := campaign.PaperSpec(no, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	if req.Generated > 0 {
+		gen, err := campaign.GeneratedSpecs(req.Generated, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gen...)
+	}
+	for i, c := range req.Custom {
+		def, err := c.definition()
+		if err != nil {
+			return nil, fmt.Errorf("custom[%d]: %w", i, err)
+		}
+		out = append(out, campaign.Spec{Name: def.Name, Def: def, Seed: seed + int64(i)*613})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty campaign: give machines, generated or custom")
+	}
+	// Defense-in-depth re-check: est above mirrors the construction of
+	// out; if the two ever drift apart, this keeps the bound authoritative.
+	if len(out) > maxCampaignJobs {
+		return nil, fmt.Errorf("campaign of %d jobs exceeds the limit of %d", len(out), maxCampaignJobs)
+	}
+	return out, nil
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	// A campaign request is small; anything bigger is hostile or broken.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req campaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	specList, err := s.buildSpecs(req, seed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.running >= maxRunning {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable,
+			"%d campaigns already running (limit %d); retry after one finishes", maxRunning, maxRunning)
+		return
+	}
+	s.running++
+	s.nextID++
+	id := fmt.Sprintf("c%d", s.nextID)
+	st := &campaignState{id: id, status: "running", total: len(specList)}
+	s.campaigns[id] = st
+	s.order = append(s.order, id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	cfg := campaign.Config{
+		Workers: req.Workers,
+		Retries: s.retries,
+		Seed:    seed,
+		OnEvent: st.onEvent,
+		Wrap:    s.storeWrap,
+	}
+	// The operator's -workers flag is a ceiling, not a default a client
+	// may exceed.
+	if cfg.Workers <= 0 || cfg.Workers > s.workers {
+		cfg.Workers = s.workers
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		rep, err := s.runCampaign(s.baseCtx, specList, cfg)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		st.report = rep
+		if err != nil {
+			st.status = "failed"
+			st.errMsg = err.Error()
+		} else {
+			st.status = "done"
+		}
+		s.logf("campaign %s: %s (%d jobs)", id, st.status, len(specList))
+	}()
+
+	s.logf("campaign %s: accepted %d jobs", id, len(specList))
+	w.Header().Set("Location", "/campaigns/"+id)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     id,
+		"status": "running",
+		"jobs":   len(specList),
+		"url":    "/campaigns/" + id,
+	})
+}
+
+// evictLocked drops the oldest finished campaigns once the retained
+// count exceeds maxCampaigns. Callers hold s.mu.
+func (s *server) evictLocked() {
+	over := len(s.campaigns) - maxCampaigns
+	if over <= 0 {
+		return
+	}
+	var kept []string
+	for _, id := range s.order {
+		st := s.campaigns[id]
+		if st == nil {
+			continue
+		}
+		evictable := false
+		if over > 0 {
+			st.mu.Lock()
+			evictable = st.status != "running"
+			st.mu.Unlock()
+		}
+		if evictable {
+			delete(s.campaigns, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// onEvent records progress; campaign.Run calls it from one goroutine.
+func (st *campaignState) onEvent(ev campaign.Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.events = append(st.events, ev)
+	if ev.Kind == campaign.EventJobFinished || ev.Kind == campaign.EventJobFailed {
+		st.done++
+	}
+}
+
+// storeWrap backs each campaign job with the content-addressed store:
+// concurrent jobs for one machine configuration run the pipeline once
+// (single-flight), and repeated campaigns hit the cache.
+func (s *server) storeWrap(spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
+	fp := spec.Def.Fingerprint()
+	var direct *campaign.Outcome
+	rec, err := s.st.GetOrCompute(fp, func() (*store.Record, error) {
+		out := run()
+		direct = &out
+		if out.Err != nil {
+			return nil, out.Err
+		}
+		return &store.Record{
+			Fingerprint:        fp,
+			MachineName:        spec.Def.Name,
+			Mapping:            out.Result.Mapping,
+			MappingFingerprint: out.Result.Mapping.Fingerprint(),
+			Match:              out.Match,
+			SimSeconds:         out.Result.TotalSimSeconds,
+			Measurements:       out.Result.Measurements,
+		}, nil
+	})
+	if direct != nil {
+		// This call executed the pipeline; report its outcome verbatim.
+		return *direct
+	}
+	if err != nil {
+		// Another flight's failure; count it as one shared attempt.
+		return campaign.Outcome{Err: err, Attempts: 1}
+	}
+	return campaign.Outcome{
+		Result: &core.Result{
+			Mapping:         rec.Mapping,
+			TotalSimSeconds: rec.SimSeconds,
+			Measurements:    rec.Measurements,
+		},
+		Match:  rec.Match,
+		Cached: true,
+	}
+}
+
+// jobJSON is one job row in a campaign status response.
+type jobJSON struct {
+	Name        string  `json:"name"`
+	OK          bool    `json:"ok"`
+	Match       bool    `json:"match"`
+	Cached      bool    `json:"cached"`
+	Attempts    int     `json:"attempts"`
+	SimSeconds  float64 `json:"sim_s,omitempty"`
+	WallSeconds float64 `json:"wall_s"`
+	Mapping     string  `json:"mapping,omitempty"`
+	// MappingFingerprint content-addresses the recovered mapping;
+	// MachineFingerprint is the store key for GET /mappings/{fp}.
+	MappingFingerprint string `json:"mapping_fingerprint,omitempty"`
+	MachineFingerprint string `json:"machine_fingerprint"`
+	Err                string `json:"err,omitempty"`
+}
+
+type classJSON struct {
+	Fingerprint string   `json:"fingerprint"`
+	Mapping     string   `json:"mapping"`
+	Jobs        []string `json:"jobs"`
+}
+
+type reportJSON struct {
+	Total       int            `json:"total"`
+	Succeeded   int            `json:"succeeded"`
+	Failed      int            `json:"failed"`
+	Matched     int            `json:"matched"`
+	Cached      int            `json:"cached"`
+	SuccessRate float64        `json:"success_rate"`
+	WallSeconds float64        `json:"wall_s"`
+	SimSeconds  campaign.Stats `json:"sim_s"`
+	Jobs        []jobJSON      `json:"jobs"`
+	Classes     []classJSON    `json:"equivalence_classes"`
+}
+
+func reportToJSON(rep *campaign.Report) *reportJSON {
+	out := &reportJSON{
+		Total: rep.Total, Succeeded: rep.Succeeded, Failed: rep.Failed,
+		Matched: rep.Matched, Cached: rep.Cached,
+		SuccessRate: rep.SuccessRate, WallSeconds: rep.WallSeconds, SimSeconds: rep.Sim,
+	}
+	for _, jr := range rep.Jobs {
+		j := jobJSON{
+			Name: jr.Name, OK: jr.Err == nil, Match: jr.Match, Cached: jr.Cached,
+			Attempts: jr.Attempts, WallSeconds: jr.WallSeconds,
+			MappingFingerprint: jr.Fingerprint,
+			MachineFingerprint: jr.MachineFingerprint,
+		}
+		if jr.Err != nil {
+			j.Err = jr.Err.Error()
+		}
+		if jr.Result != nil && jr.Result.Mapping != nil {
+			j.Mapping = jr.Result.Mapping.String()
+			j.SimSeconds = jr.Result.TotalSimSeconds
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	for _, c := range rep.Classes {
+		out.Classes = append(out.Classes, classJSON{
+			Fingerprint: c.Fingerprint, Mapping: c.Mapping.String(), Jobs: c.Jobs,
+		})
+	}
+	return out
+}
+
+func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	st.mu.Lock()
+	resp := map[string]any{
+		"id":     st.id,
+		"status": st.status,
+		"total":  st.total,
+		"done":   st.done,
+		"events": append([]campaign.Event(nil), st.events...),
+	}
+	if st.report != nil {
+		resp["report"] = reportToJSON(st.report)
+	}
+	if st.errMsg != "" {
+		resp["err"] = st.errMsg
+	}
+	st.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if !store.ValidFingerprint(fp) {
+		httpError(w, http.StatusBadRequest, "malformed fingerprint %q", fp)
+		return
+	}
+	rec, ok, err := s.st.Get(fp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no mapping for %s", fp)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"campaigns": n,
+		"store":     s.st.StatsSnapshot(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dramdig/internal/campaign"
+	"dramdig/internal/store"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(context.Background(), st, 2, 1, t.Logf)
+}
+
+func doJSON(t *testing.T, srv http.Handler, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, path, w.Body.String())
+	}
+	return w.Code, m
+}
+
+// waitDone polls the campaign endpoint until it leaves "running".
+func waitDone(t *testing.T, srv http.Handler, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, m := doJSON(t, srv, "GET", "/campaigns/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("GET /campaigns/%s: %d %v", id, code, m)
+		}
+		if m["status"] != "running" {
+			return m
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never finished", id)
+	return nil
+}
+
+// TestDaemonHandlerValidation covers the request-surface error paths with
+// the campaign runner stubbed out.
+func TestDaemonHandlerValidation(t *testing.T) {
+	srv := newTestServer(t)
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		t.Fatal("runner called for invalid request")
+		return nil, nil
+	}
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/campaigns", "{not json", http.StatusBadRequest},
+		{"POST", "/campaigns", "{}", http.StatusBadRequest},                // no machine source
+		{"POST", "/campaigns", `{"machines":[12]}`, http.StatusBadRequest}, // unknown setting
+		{"POST", "/campaigns", `{"custom":[{"standard":"DDR9"}]}`, http.StatusBadRequest},
+		{"POST", "/campaigns", `{"generated":100000000}`, http.StatusBadRequest}, // job-count bomb
+		{"POST", "/campaigns", `{"machines":[1],"generated":256}`, http.StatusBadRequest},
+		{"POST", "/campaigns", `{"machines":[-1],"generated":-100}`, http.StatusBadRequest},                                  // negative offset trick
+		{"POST", "/campaigns", `{"machines":[1],` + strings.Repeat(`"x":"y",`, 200000) + `"seed":1}`, http.StatusBadRequest}, // >1MiB body
+		{"GET", "/campaigns/c999", "", http.StatusNotFound},
+		{"GET", "/mappings/zz", "", http.StatusBadRequest},
+		{"GET", "/mappings/" + strings.Repeat("a", 64), "", http.StatusNotFound},
+	} {
+		code, m := doJSON(t, srv, tc.method, tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s %s: %d (want %d): %v", tc.method, tc.path, code, tc.want, m)
+		}
+	}
+	if code, m := doJSON(t, srv, "GET", "/healthz", ""); code != http.StatusOK || m["status"] != "ok" {
+		t.Errorf("healthz: %d %v", code, m)
+	}
+}
+
+// TestDaemonCampaignLifecycleFake drives the POST → poll → report flow
+// with a stubbed runner that exercises the event plumbing.
+func TestDaemonCampaignLifecycleFake(t *testing.T) {
+	srv := newTestServer(t)
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		for i, s := range specs {
+			cfg.OnEvent(campaign.Event{Kind: campaign.EventJobStarted, Job: s.Name, Index: i})
+			cfg.OnEvent(campaign.Event{Kind: campaign.EventJobFinished, Job: s.Name, Index: i, Match: true})
+		}
+		// A minimal report: campaign.Run's aggregation is tested in its
+		// own package; the daemon only relays it.
+		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+	}
+
+	code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1,2,3]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /campaigns: %d %v", code, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatalf("no campaign id in %v", m)
+	}
+	final := waitDone(t, srv, id)
+	if final["status"] != "done" {
+		t.Fatalf("status %v: %v", final["status"], final)
+	}
+	if got := final["done"].(float64); got != 3 {
+		t.Errorf("done = %v, want 3", got)
+	}
+	events := final["events"].([]any)
+	if len(events) != 6 {
+		t.Errorf("%d events, want 6", len(events))
+	}
+	rep := final["report"].(map[string]any)
+	if rep["succeeded"].(float64) != 3 {
+		t.Errorf("report: %v", rep)
+	}
+}
+
+// TestDaemonEndToEnd runs a real single-machine campaign twice: the first
+// run executes the pipeline and fills the store; the second is served
+// from cache, and the fingerprint from the report resolves through
+// GET /mappings/{fp}.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func() map[string]any {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json",
+			strings.NewReader(`{"machines":[4],"seed":42}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST: %d %v", resp.StatusCode, m)
+		}
+		return m
+	}
+
+	first := waitDone(t, srv, post()["id"].(string))
+	if first["status"] != "done" {
+		t.Fatalf("first campaign: %v", first)
+	}
+	job := first["report"].(map[string]any)["jobs"].([]any)[0].(map[string]any)
+	if job["ok"] != true || job["match"] != true || job["cached"] == true {
+		t.Fatalf("first run job: %v", job)
+	}
+	machineFP, _ := job["machine_fingerprint"].(string)
+	if !store.ValidFingerprint(machineFP) {
+		t.Fatalf("bad machine fingerprint %q", machineFP)
+	}
+
+	// Cache lookup over real HTTP.
+	resp, err := http.Get(ts.URL + "/mappings/" + machineFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec store.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /mappings: %d", resp.StatusCode)
+	}
+	if rec.Mapping == nil || rec.MachineName != "No.4" || !rec.Match {
+		t.Fatalf("cached record: %+v", rec)
+	}
+	if rec.Mapping.Fingerprint() != job["mapping_fingerprint"].(string) {
+		t.Error("mapping fingerprint mismatch between report and store")
+	}
+
+	// Second identical campaign: served from cache, pipeline not re-run.
+	second := waitDone(t, srv, post()["id"].(string))
+	job2 := second["report"].(map[string]any)["jobs"].([]any)[0].(map[string]any)
+	if job2["cached"] != true {
+		t.Fatalf("second run not cached: %v", job2)
+	}
+	stats := srv.st.StatsSnapshot()
+	if stats.Computes != 1 {
+		t.Errorf("pipeline computed %d times across two campaigns, want 1", stats.Computes)
+	}
+}
+
+// TestDaemonShutdownCancelsCampaigns: cancelling the base context fails
+// in-flight jobs and drain() returns.
+func TestDaemonShutdownCancelsCampaigns(t *testing.T) {
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := newServer(ctx, st, 2, 0, t.Logf)
+
+	started := make(chan struct{})
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		close(started)
+		<-ctx.Done()
+		return &campaign.Report{Total: len(specs)}, ctx.Err()
+	}
+	code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", code, m)
+	}
+	<-started
+	cancel()
+	drained := make(chan struct{})
+	go func() { srv.drain(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung after context cancellation")
+	}
+	final := doJSONmap(t, srv, "GET", "/campaigns/"+m["id"].(string))
+	if final["status"] != "failed" {
+		t.Errorf("cancelled campaign status %v, want failed", final["status"])
+	}
+}
+
+func doJSONmap(t *testing.T, srv http.Handler, method, path string) map[string]any {
+	t.Helper()
+	code, m := doJSON(t, srv, method, path, "")
+	if code != http.StatusOK {
+		t.Fatalf("%s %s: %d %v", method, path, code, m)
+	}
+	return m
+}
+
+// TestDaemonCampaignEviction: a long-lived daemon caps retained finished
+// campaigns at maxCampaigns, oldest first, and keeps serving the newest.
+func TestDaemonCampaignEviction(t *testing.T) {
+	srv := newTestServer(t)
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+	}
+	var lastID string
+	for i := 0; i < maxCampaigns+10; i++ {
+		code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST %d: %d %v", i, code, m)
+		}
+		lastID = m["id"].(string)
+		waitDone(t, srv, lastID)
+	}
+	srv.mu.Lock()
+	n := len(srv.campaigns)
+	srv.mu.Unlock()
+	if n > maxCampaigns+1 {
+		t.Errorf("%d campaigns retained, want <= %d", n, maxCampaigns+1)
+	}
+	if code, _ := doJSON(t, srv, "GET", "/campaigns/"+lastID, ""); code != http.StatusOK {
+		t.Errorf("newest campaign evicted")
+	}
+	if code, _ := doJSON(t, srv, "GET", "/campaigns/c1", ""); code != http.StatusNotFound {
+		t.Errorf("oldest campaign not evicted")
+	}
+}
+
+// TestDaemonRunningCampaignCap: the daemon refuses a new campaign while
+// maxRunning are still executing, and accepts again after they drain.
+func TestDaemonRunningCampaignCap(t *testing.T) {
+	srv := newTestServer(t)
+	release := make(chan struct{})
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		<-release
+		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+	}
+	ids := make([]string, 0, maxRunning)
+	for i := 0; i < maxRunning; i++ {
+		code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST %d: %d %v", i, code, m)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+	if code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap POST: %d %v, want 503", code, m)
+	}
+	close(release)
+	for _, id := range ids {
+		waitDone(t, srv, id)
+	}
+	if code, _ := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
+		t.Errorf("POST after drain rejected: %d", code)
+	}
+}

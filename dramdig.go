@@ -26,13 +26,23 @@
 //     equivalence, the paper's notation);
 //   - internal/rowhammer — mapping-guided double-sided rowhammer tests;
 //   - internal/drama, internal/xiao, internal/seaborn — baselines;
-//   - internal/eval — regeneration of every table and figure.
+//   - internal/eval — regeneration of every table and figure;
+//   - internal/campaign — concurrent multi-machine campaigns: a worker
+//     pool fanning reverse-engineering jobs across GOMAXPROCS with
+//     retries, progress events and aggregated reports;
+//   - internal/store — a content-addressed result cache (in-memory LRU,
+//     optional JSON persistence, single-flight deduplication) keyed by
+//     machine fingerprints;
+//   - cmd/dramdigd — the HTTP daemon serving campaigns and cached
+//     mappings as a JSON API.
 package dramdig
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"dramdig/internal/campaign"
 	"dramdig/internal/core"
 	"dramdig/internal/dram"
 	"dramdig/internal/eval"
@@ -131,6 +141,37 @@ func Hammer(m *Machine, mp *Mapping, cfg HammerConfig) (HammerResult, error) {
 		return HammerResult{}, err
 	}
 	return sess.Run(), nil
+}
+
+// CampaignSpec is one campaign job (re-exported).
+type CampaignSpec = campaign.Spec
+
+// CampaignConfig tunes a campaign run (re-exported).
+type CampaignConfig = campaign.Config
+
+// CampaignEvent is a campaign progress notification (re-exported).
+type CampaignEvent = campaign.Event
+
+// CampaignReport aggregates a campaign's outcomes (re-exported).
+type CampaignReport = campaign.Report
+
+// CampaignJob is one job's outcome inside a report (re-exported).
+type CampaignJob = campaign.JobResult
+
+// PaperCampaign returns campaign jobs for the paper's nine Table II
+// settings.
+func PaperCampaign(seed int64) []CampaignSpec { return campaign.PaperSpecs(seed) }
+
+// GeneratedCampaign returns n campaign jobs over randomly generated
+// Intel-plausible machines.
+func GeneratedCampaign(n int, seed int64) ([]CampaignSpec, error) {
+	return campaign.GeneratedSpecs(n, seed)
+}
+
+// RunCampaign fans the specs across a worker pool and aggregates the
+// results; see CampaignConfig for concurrency, retry and event options.
+func RunCampaign(ctx context.Context, specs []CampaignSpec, cfg CampaignConfig) (*CampaignReport, error) {
+	return campaign.Run(ctx, specs, cfg)
 }
 
 // ExperimentOptions configures experiment regeneration (re-exported).

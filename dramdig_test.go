@@ -2,6 +2,7 @@ package dramdig
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -64,5 +65,31 @@ func TestFacadeCustomMachine(t *testing.T) {
 func TestFacadeBadMachine(t *testing.T) {
 	if _, err := NewMachine(17, 1); err == nil {
 		t.Error("invalid setting number accepted")
+	}
+}
+
+// TestFacadeCampaign exercises the campaign surface end to end on two
+// machines with progress events.
+func TestFacadeCampaign(t *testing.T) {
+	specs := PaperCampaign(42)[:2] // No.1, No.2
+	events := 0
+	rep, err := RunCampaign(context.Background(), specs, CampaignConfig{
+		Workers: 2,
+		Seed:    7,
+		OnEvent: func(CampaignEvent) { events++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 2 || rep.Matched != 2 {
+		t.Fatalf("campaign: %d ok, %d matched, want 2/2", rep.Succeeded, rep.Matched)
+	}
+	if events < 4 {
+		t.Errorf("only %d events (want started+finished per job)", events)
+	}
+	var buf bytes.Buffer
+	rep.RenderTable(&buf)
+	if !strings.Contains(buf.String(), "No.2") {
+		t.Errorf("report table missing a job:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,3 @@
+module dramdig
+
+go 1.24

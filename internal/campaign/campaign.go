@@ -1,0 +1,336 @@
+// Package campaign runs fleets of reverse-engineering jobs concurrently:
+// it fans a set of machine specifications — the paper's nine Table II
+// settings, randomly generated machines, or user-supplied custom
+// definitions — across a worker pool, runs the DRAMDig pipeline on each
+// with independent deterministic seeds, retries transient failures with
+// fresh seeds, streams progress events, and aggregates the per-machine
+// outcomes into a campaign report (success rate, timing statistics,
+// mapping equivalence classes).
+//
+// The engine is the concurrency layer the dramdigd daemon builds on; it
+// deliberately knows nothing about HTTP or persistence. Per-job execution
+// can be wrapped (Config.Wrap) so a caller may interpose a result cache —
+// the daemon uses this to back jobs with the internal/store single-flight
+// cache.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"dramdig/internal/core"
+	"dramdig/internal/machine"
+)
+
+// Spec is one campaign job: a machine to build and reverse-engineer.
+type Spec struct {
+	// Name labels the job in events and the report; defaults to the
+	// definition's name.
+	Name string
+	// Def declares the machine.
+	Def machine.Definition
+	// Seed is the machine seed (allocation layout, noise stream); retry
+	// attempts perturb it deterministically.
+	Seed int64
+	// Tool, when non-nil, overrides the DRAMDig configuration for this
+	// job. The engine still controls the tool seed — it derives one per
+	// (job, attempt) so concurrent jobs never share randomness.
+	Tool *core.Config
+}
+
+// PaperSpecs returns jobs for the paper's nine Table II settings, with
+// per-machine seeds derived from the master seed the way internal/eval
+// does.
+func PaperSpecs(seed int64) []Spec {
+	defs := machine.Settings()
+	specs := make([]Spec, 0, len(defs))
+	for _, def := range defs {
+		specs = append(specs, paperSpec(def, seed))
+	}
+	return specs
+}
+
+// PaperSpec returns the job for one paper setting (1–9) under the master
+// seed, with the same seed derivation as PaperSpecs.
+func PaperSpec(no int, seed int64) (Spec, error) {
+	def, err := machine.ByNo(no)
+	if err != nil {
+		return Spec{}, err
+	}
+	return paperSpec(def, seed), nil
+}
+
+func paperSpec(def machine.Definition, seed int64) Spec {
+	return Spec{Name: def.Name, Def: def, Seed: seed*131 + int64(def.No)}
+}
+
+// GeneratedSpecs returns n jobs over randomly generated (but
+// Intel-plausible) machine definitions, deterministically from the seed.
+func GeneratedSpecs(n int, seed int64) ([]Spec, error) {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		def, err := generateDef(rng)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, Spec{
+			Name: fmt.Sprintf("%s#%d", def.Name, i),
+			Def:  def,
+			Seed: seed + int64(i)*9176,
+		})
+	}
+	return specs, nil
+}
+
+// generateDef retries the generator past its occasional too-large draws.
+func generateDef(rng *rand.Rand) (machine.Definition, error) {
+	var err error
+	for tries := 0; tries < 32; tries++ {
+		var def machine.Definition
+		if def, err = machine.GenerateDefinition(rng); err == nil {
+			return def, nil
+		}
+	}
+	return machine.Definition{}, fmt.Errorf("campaign: machine generation kept failing: %w", err)
+}
+
+// EventKind classifies a progress event.
+type EventKind string
+
+const (
+	// EventJobStarted fires when a worker picks the job up.
+	EventJobStarted EventKind = "job_started"
+	// EventAttemptFailed fires per failed attempt before a retry.
+	EventAttemptFailed EventKind = "attempt_failed"
+	// EventJobFinished fires on success.
+	EventJobFinished EventKind = "job_finished"
+	// EventJobFailed fires when every attempt failed.
+	EventJobFailed EventKind = "job_failed"
+)
+
+// Event is one progress notification. Events are delivered to
+// Config.OnEvent from a single dispatcher goroutine, in completion order.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Job and Index identify the spec.
+	Job   string `json:"job"`
+	Index int    `json:"index"`
+	// Attempt is the 0-based attempt number (attempt_failed only).
+	Attempt int `json:"attempt"`
+	// Err carries the failure message (attempt_failed / job_failed).
+	Err string `json:"err,omitempty"`
+	// Match, Cached and SimSeconds describe a finished job.
+	Match      bool    `json:"match,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	SimSeconds float64 `json:"sim_s,omitempty"`
+}
+
+// Outcome is the result of executing one job, as seen by Config.Wrap.
+type Outcome struct {
+	// Result is the successful pipeline output (nil when Err is set).
+	Result *core.Result
+	// Match reports ground-truth equivalence of the recovered mapping.
+	Match bool
+	// Cached marks an outcome served by a wrapper's cache rather than a
+	// pipeline run.
+	Cached bool
+	// Attempts is the number of pipeline attempts executed (0 for a
+	// cache hit).
+	Attempts int
+	// Err is the last attempt's failure, nil on success.
+	Err error
+}
+
+// Config tunes a campaign run. The zero value is usable.
+type Config struct {
+	// Workers caps concurrent jobs; default GOMAXPROCS.
+	Workers int
+	// Retries is the number of extra attempts after a failed one, each
+	// with freshly derived machine and tool seeds; default 1. Negative
+	// disables retries.
+	Retries int
+	// Seed is the master tool seed; per-(job, attempt) seeds derive from
+	// it deterministically, so a campaign's outcome does not depend on
+	// worker scheduling.
+	Seed int64
+	// OnEvent, when non-nil, receives progress events from a single
+	// dispatcher goroutine (no locking needed in the callback).
+	OnEvent func(Event)
+	// Wrap, when non-nil, intercepts each job's execution: it receives
+	// the spec and a run function executing the full attempt loop, and
+	// may return a cached Outcome instead of calling run. See
+	// cmd/dramdigd for the store-backed interceptor.
+	Wrap func(spec Spec, run func() Outcome) Outcome
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+}
+
+// Run executes the campaign: specs fan out across the worker pool and the
+// aggregated report comes back with one JobResult per spec, in spec
+// order. Cancelling the context stops new attempts; jobs not yet run
+// report the context error. The returned error is nil unless the input
+// is unusable or the context was cancelled (the report is still returned
+// in the latter case).
+func Run(ctx context.Context, specs []Spec, cfg Config) (*Report, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("campaign: no specs")
+	}
+	cfg.setDefaults()
+	// More workers than jobs is pure goroutine waste — and Workers may
+	// come from an untrusted request (dramdigd), so clamp hard.
+	if cfg.Workers > len(specs) {
+		cfg.Workers = len(specs)
+	}
+	start := time.Now()
+
+	// Dispatcher: serialize events from all workers into OnEvent. The
+	// channel closes only after every worker has finished emitting.
+	emit := func(Event) {}
+	if cfg.OnEvent != nil {
+		events := make(chan Event, 16)
+		dispatcherDone := make(chan struct{})
+		go func() {
+			defer close(dispatcherDone)
+			for ev := range events {
+				cfg.OnEvent(ev)
+			}
+		}()
+		emit = func(ev Event) { events <- ev }
+		defer func() {
+			close(events)
+			<-dispatcherDone
+		}()
+	}
+
+	jobs := make(chan int)
+	results := make([]JobResult, len(specs))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = runJob(ctx, specs[idx], cfg, idx, emit)
+			}
+		}()
+	}
+	for idx := range specs {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	report := buildReport(specs, results, time.Since(start).Seconds())
+	// Report the context error only when it actually cost us jobs: a
+	// cancellation arriving after the last job completed is not a
+	// campaign failure.
+	if err := ctx.Err(); err != nil {
+		for _, jr := range results {
+			if errors.Is(jr.Err, err) {
+				return report, err
+			}
+		}
+	}
+	return report, nil
+}
+
+// runJob executes one spec (through the wrapper when configured) and
+// converts the outcome into a JobResult.
+func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event)) JobResult {
+	name := spec.Name
+	if name == "" {
+		name = spec.Def.Name
+	}
+	start := time.Now()
+	emit(Event{Kind: EventJobStarted, Job: name, Index: idx})
+
+	run := func() Outcome { return attemptLoop(ctx, spec, cfg, idx, name, emit) }
+	var out Outcome
+	if cfg.Wrap != nil {
+		out = cfg.Wrap(spec, run)
+	} else {
+		out = run()
+	}
+
+	jr := JobResult{
+		Spec:               spec,
+		Name:               name,
+		Result:             out.Result,
+		Err:                out.Err,
+		Attempts:           out.Attempts,
+		Match:              out.Match,
+		Cached:             out.Cached,
+		MachineFingerprint: spec.Def.Fingerprint(),
+		WallSeconds:        time.Since(start).Seconds(),
+	}
+	if out.Err == nil && out.Result != nil && out.Result.Mapping != nil {
+		jr.Fingerprint = out.Result.Mapping.Fingerprint()
+		emit(Event{Kind: EventJobFinished, Job: name, Index: idx,
+			Match: out.Match, Cached: out.Cached, SimSeconds: out.Result.TotalSimSeconds})
+	} else {
+		if jr.Err == nil {
+			jr.Err = fmt.Errorf("campaign: wrapper returned neither result nor error")
+		}
+		emit(Event{Kind: EventJobFailed, Job: name, Index: idx, Err: jr.Err.Error()})
+	}
+	return jr
+}
+
+// attemptLoop is the default per-job execution: build the machine, run
+// DRAMDig, retry any failure up to cfg.Retries times with perturbed
+// deterministic seeds. Simulation noise makes pipeline failures
+// transient; configuration errors simply fail again and exhaust quickly.
+func attemptLoop(ctx context.Context, spec Spec, cfg Config, idx int, name string, emit func(Event)) Outcome {
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{Err: err, Attempts: attempt}
+		}
+		res, match, err := runAttempt(spec, cfg, idx, attempt)
+		if err == nil {
+			return Outcome{Result: res, Match: match, Attempts: attempt + 1}
+		}
+		lastErr = err
+		if attempt < cfg.Retries {
+			emit(Event{Kind: EventAttemptFailed, Job: name, Index: idx, Attempt: attempt, Err: err.Error()})
+		}
+	}
+	return Outcome{Err: lastErr, Attempts: cfg.Retries + 1}
+}
+
+func runAttempt(spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, error) {
+	m, err := machine.New(spec.Def, spec.Seed+int64(attempt)*31)
+	if err != nil {
+		return nil, false, err
+	}
+	toolCfg := core.Config{}
+	if spec.Tool != nil {
+		toolCfg = *spec.Tool
+	}
+	toolCfg.Seed = cfg.Seed + int64(idx)*7919 + int64(attempt)*104729
+	tool, err := core.New(m, toolCfg)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := tool.Run()
+	if err != nil {
+		return nil, false, err
+	}
+	return res, res.Mapping.EquivalentTo(m.Truth()), nil
+}

@@ -427,4 +427,3 @@ func (t *Tool) detectRows(physBits uint) ([]uint, error) {
 	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
 	return rows, nil
 }
-

@@ -1,0 +1,66 @@
+// Content addressing for machine settings: a definition's fingerprint is
+// a stable SHA-256 over its declared fields, used by the result store and
+// the dramdigd daemon to recognise repeated requests for the same machine
+// configuration. The mapping notation fields are canonicalized first, so
+// definitions differing only in notation whitespace or bank-function
+// ordering hash identically.
+
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/mapping"
+)
+
+// Fingerprint returns a stable content hash of the declared setting: the
+// SHA-256, in lowercase hex, over every identity-bearing field. Two
+// limitations are deliberate: ParamsTweak is a function and cannot be
+// serialized, and Notes is commentary — neither contributes to the hash,
+// so definitions differing only there share a fingerprint.
+func (d Definition) Fingerprint() string {
+	h := sha256.New()
+	field(h, "no", d.No)
+	field(h, "name", d.Name)
+	field(h, "uarch", d.Microarch)
+	field(h, "cpu", d.CPU)
+	field(h, "mobile", d.Mobile)
+	field(h, "std", d.Standard)
+	field(h, "mem", d.MemBytes)
+	field(h, "config", d.Config)
+	field(h, "chip", d.ChipPart)
+	field(h, "funcs", canonFuncs(d.BankFuncs))
+	field(h, "rows", canonBitRanges(d.RowBits))
+	field(h, "cols", canonBitRanges(d.ColBits))
+	field(h, "vuln", fmt.Sprintf("%+v", d.Vuln))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func field(h hash.Hash, name string, v any) {
+	fmt.Fprintf(h, "%s=%v\n", name, v)
+}
+
+// canonFuncs normalizes the paper's bank-function notation through the
+// canonical mapping form; unparsable strings hash as written.
+func canonFuncs(s string) string {
+	funcs, err := mapping.ParseFuncs(s)
+	if err != nil {
+		return s
+	}
+	m := mapping.Mapping{BankFuncs: funcs}
+	return m.Canonicalize().FuncString()
+}
+
+// canonBitRanges normalizes the paper's bit-range notation; unparsable
+// strings hash as written.
+func canonBitRanges(s string) string {
+	bits, err := mapping.ParseBitRanges(s)
+	if err != nil {
+		return s
+	}
+	return addr.FormatBitRanges(bits)
+}

@@ -1,0 +1,54 @@
+package machine
+
+import (
+	"testing"
+
+	"dramdig/internal/memctrl"
+)
+
+func TestDefinitionFingerprintsDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, def := range Settings() {
+		fp := def.Fingerprint()
+		if len(fp) != 64 {
+			t.Fatalf("%s: fingerprint %q is not a sha256 hex digest", def.Name, fp)
+		}
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s and %s share fingerprint %s", def.Name, prev, fp)
+		}
+		seen[fp] = def.Name
+	}
+}
+
+func TestDefinitionFingerprintNormalizesNotation(t *testing.T) {
+	a, err := ByNo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	// Same setting written with different whitespace and function order.
+	b.BankFuncs = "(14,17),(6),(16, 19),(15,18)"
+	b.RowBits = "17~32"
+	b.ColBits = "0~5,7~13"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("notation-only differences changed the fingerprint")
+	}
+	c := a
+	c.MemBytes *= 2
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("memory size change did not change the fingerprint")
+	}
+}
+
+func TestDefinitionFingerprintIgnoresTweakAndNotes(t *testing.T) {
+	a, err := ByNo(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.ParamsTweak = func(p *memctrl.Params) { p.DriftAmpNs = 1 }
+	b.Notes = "different commentary"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("ParamsTweak/Notes are documented as excluded but changed the fingerprint")
+	}
+}

@@ -210,8 +210,8 @@ var settings = []Definition{
 	{
 		No: 1, Name: "No.1", Microarch: "Sandy Bridge", CPU: "i5-2400",
 		Standard: specs.DDR3, MemBytes: 8 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
-		ChipPart: "MT41K512M8",
+		Config:    sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
+		ChipPart:  "MT41K512M8",
 		BankFuncs: "(6), (14, 17), (15, 18), (16, 19)",
 		RowBits:   "17~32", ColBits: "0~5, 7~13",
 		Vuln: vulnModerate,
@@ -219,8 +219,8 @@ var settings = []Definition{
 	{
 		No: 2, Name: "No.2", Microarch: "Ivy Bridge", CPU: "i5-3230M", Mobile: true,
 		Standard: specs.DDR3, MemBytes: 8 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8},
-		ChipPart: "MT41K256M8",
+		Config:    sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8},
+		ChipPart:  "MT41K256M8",
 		BankFuncs: "(14, 18), (15, 19), (16, 20), (17, 21), (7, 8, 9, 12, 13, 18, 19)",
 		RowBits:   "18~32", ColBits: "0~6, 8~13",
 		Vuln: vulnHigh,
@@ -235,8 +235,8 @@ var settings = []Definition{
 	{
 		No: 3, Name: "No.3", Microarch: "Ivy Bridge", CPU: "i5-3230M", Mobile: true,
 		Standard: specs.DDR3, MemBytes: 4 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8},
-		ChipPart: "MT41K256M8",
+		Config:    sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8},
+		ChipPart:  "MT41K256M8",
 		BankFuncs: "(13, 17), (14, 18), (15, 19), (16, 20)",
 		RowBits:   "17~31", ColBits: "0~12",
 		Vuln: vulnModerate,
@@ -253,8 +253,8 @@ var settings = []Definition{
 	{
 		No: 4, Name: "No.4", Microarch: "Haswell", CPU: "i5-4210U", Mobile: true,
 		Standard: specs.DDR3, MemBytes: 4 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
-		ChipPart: "MT41K512M8",
+		Config:    sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
+		ChipPart:  "MT41K512M8",
 		BankFuncs: "(13, 16), (14, 17), (15, 18)",
 		RowBits:   "16~31", ColBits: "0~12",
 		Vuln: vulnModerate,
@@ -265,8 +265,8 @@ var settings = []Definition{
 	{
 		No: 5, Name: "No.5", Microarch: "Haswell", CPU: "i7-4790",
 		Standard: specs.DDR3, MemBytes: 16 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8},
-		ChipPart: "MT41K512M8",
+		Config:    sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 8},
+		ChipPart:  "MT41K512M8",
 		BankFuncs: "(14, 18), (15, 19), (16, 20), (17, 21), (7, 8, 9, 12, 13, 18, 19)",
 		RowBits:   "18~33", ColBits: "0~6, 8~13",
 		Vuln:  vulnLow,
@@ -275,8 +275,8 @@ var settings = []Definition{
 	{
 		No: 6, Name: "No.6", Microarch: "Skylake", CPU: "i5-6600",
 		Standard: specs.DDR4, MemBytes: 16 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 16},
-		ChipPart: "MT40A512M8",
+		Config:    sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 16},
+		ChipPart:  "MT40A512M8",
 		BankFuncs: "(7, 14), (15, 19), (16, 20), (17, 21), (18, 22), (8, 9, 12, 13, 18, 19)",
 		RowBits:   "19~33", ColBits: "0~7, 9~13",
 		Vuln: vulnDDR4,
@@ -289,8 +289,8 @@ var settings = []Definition{
 	{
 		No: 7, Name: "No.7", Microarch: "Skylake", CPU: "i5-6200U", Mobile: true,
 		Standard: specs.DDR4, MemBytes: 4 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
-		ChipPart: "MT40A512M16",
+		Config:    sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 8},
+		ChipPart:  "MT40A512M16",
 		BankFuncs: "(6, 13), (14, 16), (15, 17)",
 		RowBits:   "16~31", ColBits: "0~12",
 		Vuln: vulnDDR4,
@@ -304,8 +304,8 @@ var settings = []Definition{
 	{
 		No: 8, Name: "No.8", Microarch: "Coffee Lake", CPU: "i5-9400",
 		Standard: specs.DDR4, MemBytes: 8 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 16},
-		ChipPart: "MT40A1G8",
+		Config:    sysinfo.DIMMConfig{Channels: 1, DIMMsPerChan: 1, RanksPerDIMM: 1, BanksPerRank: 16},
+		ChipPart:  "MT40A1G8",
 		BankFuncs: "(6, 13), (14, 17), (15, 18), (16, 19)",
 		RowBits:   "17~32", ColBits: "0~12",
 		Vuln: vulnDDR4,
@@ -313,8 +313,8 @@ var settings = []Definition{
 	{
 		No: 9, Name: "No.9", Microarch: "Coffee Lake", CPU: "i5-9400",
 		Standard: specs.DDR4, MemBytes: 16 << 30,
-		Config:   sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 16},
-		ChipPart: "MT40A512M8",
+		Config:    sysinfo.DIMMConfig{Channels: 2, DIMMsPerChan: 1, RanksPerDIMM: 2, BanksPerRank: 16},
+		ChipPart:  "MT40A512M8",
 		BankFuncs: "(7, 14), (15, 19), (16, 20), (17, 21), (18, 22), (8, 9, 12, 13, 18, 19)",
 		RowBits:   "19~33", ColBits: "0~7, 9~13",
 		Vuln: vulnDDR4,

@@ -1,0 +1,29 @@
+// Content addressing: a mapping's fingerprint is the SHA-256 of its
+// canonical JSON serialization, so equivalent mappings (same partition of
+// the physical address space) hash to the same value regardless of how
+// their bank functions were presented. The result store and the dramdigd
+// daemon key cached reverse-engineering results by these hashes.
+
+package mapping
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable content hash of the mapping: the SHA-256,
+// in lowercase hex, of the canonical serialized form. Mappings that are
+// EquivalentTo each other share a fingerprint; any difference in physical
+// bits, row/column bit sets or bank-function span changes it.
+func (m *Mapping) Fingerprint() string {
+	data, err := json.Marshal(m.Canonicalize())
+	if err != nil {
+		// MarshalJSON renders only integers and notation strings and
+		// cannot fail on any in-memory mapping.
+		panic(fmt.Sprintf("mapping: fingerprint serialization: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,52 @@
+package mapping
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFingerprintStableAcrossRoundTrip(t *testing.T) {
+	for _, m := range []*Mapping{no1(t), no2(t)} {
+		fp := m.Fingerprint()
+		if len(fp) != 64 {
+			t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mapping
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if got := back.Fingerprint(); got != fp {
+			t.Errorf("round-trip changed fingerprint: %s vs %s", got, fp)
+		}
+	}
+}
+
+func TestFingerprintEquivalenceInvariant(t *testing.T) {
+	m := no2(t)
+	// Recombine the bank functions by an invertible linear map: the
+	// partition is unchanged, so the fingerprint must be too.
+	funcs := append([]uint64(nil), m.BankFuncs...)
+	funcs[0] ^= funcs[1]
+	funcs[2] ^= funcs[0]
+	recombined, err := New(m.PhysBits, funcs, m.RowBits, m.ColBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EquivalentTo(recombined) {
+		t.Fatal("recombination broke equivalence (test bug)")
+	}
+	if m.Fingerprint() != recombined.Fingerprint() {
+		t.Error("equivalent mappings have different fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishesMappings(t *testing.T) {
+	a, b := no1(t), no2(t)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct mappings share a fingerprint")
+	}
+}

@@ -105,8 +105,8 @@ func TestRowBufferSequence(t *testing.T) {
 	c, m := newCtrl(t, quiet())
 	p := quiet()
 	a := addr.Phys(0x100000)
-	sameRow := a + 128                                  // same row, different column
-	conflict, err := m.RowNeighbor(a, 1)                // same bank, next row
+	sameRow := a + 128                   // same row, different column
+	conflict, err := m.RowNeighbor(a, 1) // same bank, next row
 	if err != nil {
 		t.Fatal(err)
 	}

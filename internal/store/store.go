@@ -1,0 +1,304 @@
+// Package store is a content-addressed cache of reverse-engineering
+// results, keyed by machine-definition fingerprints (see
+// machine.Definition.Fingerprint). It layers an in-memory LRU front over
+// optional JSON persistence (one file per fingerprint, built on the
+// mapping wire format of internal/mapping), and deduplicates concurrent
+// computations for the same key with single-flight: when many campaign
+// jobs or daemon requests ask for the same machine configuration at once,
+// the pipeline runs exactly once and every caller shares the outcome.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dramdig/internal/mapping"
+)
+
+// Record is one cached result: the recovered mapping plus the run
+// statistics worth keeping.
+type Record struct {
+	// Fingerprint is the machine-definition hash the record is keyed by.
+	Fingerprint string `json:"fingerprint"`
+	// MachineName labels the machine ("No.3", "gen-wide-MT41K256M8").
+	MachineName string `json:"machine"`
+	// Mapping is the recovered mapping, in the paper's JSON notation;
+	// MappingFingerprint is its content hash.
+	Mapping            *mapping.Mapping `json:"mapping"`
+	MappingFingerprint string           `json:"mapping_fingerprint"`
+	// Match records whether the mapping matched the simulator's ground
+	// truth at compute time.
+	Match bool `json:"match"`
+	// SimSeconds and Measurements are the run's cost.
+	SimSeconds   float64 `json:"sim_seconds"`
+	Measurements uint64  `json:"measurements"`
+	// CreatedUnix is the wall time the record was stored.
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+func (r *Record) validate() error {
+	if !ValidFingerprint(r.Fingerprint) {
+		return fmt.Errorf("store: bad fingerprint %q", r.Fingerprint)
+	}
+	if r.Mapping == nil {
+		return fmt.Errorf("store: record %s has no mapping", r.Fingerprint)
+	}
+	return nil
+}
+
+// ValidFingerprint reports whether s looks like one of our hex digests —
+// the daemon also uses this to reject path-traversal attempts before a
+// fingerprint reaches the filesystem.
+func ValidFingerprint(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Config tunes a store.
+type Config struct {
+	// Dir enables JSON persistence under this directory; empty keeps the
+	// store memory-only.
+	Dir string
+	// MaxEntries caps the in-memory LRU front (default 128). Persistence
+	// is unaffected by eviction: evicted records reload from disk.
+	MaxEntries int
+}
+
+// Stats are cumulative store counters.
+type Stats struct {
+	// Entries is the current in-memory count.
+	Entries int `json:"entries"`
+	// Hits counts memory or disk gets that found a record; Misses the
+	// rest. Computes counts executed compute functions; single-flight
+	// followers share the leader's compute and do not increment it.
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Computes uint64 `json:"computes"`
+	// PersistErrors counts disk writes that failed after a successful
+	// compute; the record is still served from memory (GetOrCompute
+	// treats persistence as best-effort).
+	PersistErrors uint64 `json:"persist_errors"`
+}
+
+// Store is safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	cap    int
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // value: *Record
+	flight map[string]*flightCall
+	stats  Stats
+}
+
+type flightCall struct {
+	done chan struct{}
+	rec  *Record
+	err  error
+}
+
+// Open creates a store; with Config.Dir set, the directory is created and
+// records persist across processes (loaded lazily on Get misses).
+func Open(cfg Config) (*Store, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 128
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{
+		dir:    cfg.Dir,
+		cap:    cfg.MaxEntries,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		flight: make(map[string]*flightCall),
+	}, nil
+}
+
+// Get returns the record for the fingerprint, consulting memory then
+// disk. Returned records are shared — treat them as read-only.
+func (s *Store) Get(fp string) (*Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, err := s.getLocked(fp)
+	if err != nil {
+		return nil, false, err
+	}
+	return rec, rec != nil, nil
+}
+
+// Put inserts (or replaces) a record and persists it when the store has a
+// directory.
+func (s *Store) Put(rec *Record) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	if rec.CreatedUnix == 0 {
+		rec.CreatedUnix = time.Now().Unix()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(rec, true)
+}
+
+// GetOrCompute returns the cached record for the fingerprint or runs
+// compute to produce it. Concurrent calls for the same fingerprint are
+// deduplicated: one caller computes, the rest wait and share the result.
+// Compute errors are returned to every waiter and are not cached. Disk
+// persistence is best-effort here: if the write fails the record is still
+// cached in memory and shared with every waiter, and the failure shows up
+// in Stats.PersistErrors (use Put for write-or-error semantics).
+func (s *Store) GetOrCompute(fp string, compute func() (*Record, error)) (*Record, error) {
+	s.mu.Lock()
+	rec, err := s.getLocked(fp)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if rec != nil {
+		s.mu.Unlock()
+		return rec, nil
+	}
+	if c, ok := s.flight[fp]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.rec, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[fp] = c
+	s.stats.Computes++
+	s.mu.Unlock()
+
+	rec, err = compute()
+	if err == nil && rec != nil {
+		if rec.Fingerprint == "" {
+			rec.Fingerprint = fp
+		}
+		if rec.CreatedUnix == 0 {
+			rec.CreatedUnix = time.Now().Unix()
+		}
+		if rec.Fingerprint != fp {
+			rec, err = nil, fmt.Errorf("store: compute for %s returned record keyed %s", fp, rec.Fingerprint)
+		} else if verr := rec.validate(); verr != nil {
+			rec, err = nil, verr
+		}
+	} else if err == nil {
+		err = fmt.Errorf("store: compute for %s returned neither record nor error", fp)
+	}
+
+	s.mu.Lock()
+	delete(s.flight, fp)
+	if err == nil {
+		if perr := s.putLocked(rec, true); perr != nil {
+			s.stats.PersistErrors++
+		}
+	}
+	s.mu.Unlock()
+
+	c.rec, c.err = rec, err
+	close(c.done)
+	return rec, err
+}
+
+// StatsSnapshot returns the current counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}
+
+// Len returns the in-memory entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// getLocked consults the LRU then the disk tier, promoting what it finds.
+func (s *Store) getLocked(fp string) (*Record, error) {
+	if el, ok := s.items[fp]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		return el.Value.(*Record), nil
+	}
+	if s.dir != "" && ValidFingerprint(fp) {
+		data, err := os.ReadFile(s.path(fp))
+		if err == nil {
+			var rec Record
+			if uerr := json.Unmarshal(data, &rec); uerr != nil {
+				return nil, fmt.Errorf("store: corrupt record %s: %w", fp, uerr)
+			}
+			if rec.Fingerprint != fp {
+				return nil, fmt.Errorf("store: record file %s is keyed %s inside", fp, rec.Fingerprint)
+			}
+			if verr := rec.validate(); verr != nil {
+				return nil, fmt.Errorf("store: corrupt record %s: %w", fp, verr)
+			}
+			s.stats.Hits++
+			// Promote to memory without rewriting the file.
+			if perr := s.putLocked(&rec, false); perr != nil {
+				return nil, perr
+			}
+			return &rec, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s.stats.Misses++
+	return nil, nil
+}
+
+// putLocked inserts into the LRU first — the memory tier stays coherent
+// even when the disk tier misbehaves — then persists. Records are small
+// (~1 KiB of JSON), so holding the mutex across the write is a deliberate
+// simplicity tradeoff; the expensive pipeline computes already run
+// outside the lock.
+func (s *Store) putLocked(rec *Record, persist bool) error {
+	if el, ok := s.items[rec.Fingerprint]; ok {
+		el.Value = rec
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[rec.Fingerprint] = s.ll.PushFront(rec)
+		for s.ll.Len() > s.cap {
+			oldest := s.ll.Back()
+			s.ll.Remove(oldest)
+			delete(s.items, oldest.Value.(*Record).Fingerprint)
+		}
+	}
+	if persist && s.dir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return fmt.Errorf("store: encode %s: %w", rec.Fingerprint, err)
+		}
+		path := s.path(rec.Fingerprint)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(fp string) string {
+	return filepath.Join(s.dir, fp+".json")
+}

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dramdig/internal/machine"
+)
+
+func testRecord(t *testing.T, fp string) *Record {
+	t.Helper()
+	def, err := machine.ByNo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := m.Truth()
+	return &Record{
+		Fingerprint:        fp,
+		MachineName:        def.Name,
+		Mapping:            truth,
+		MappingFingerprint: truth.Fingerprint(),
+		Match:              true,
+		SimSeconds:         12.5,
+		Measurements:       100_000,
+	}
+}
+
+// fp returns a syntactically valid fake fingerprint.
+func fp(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestValidFingerprint(t *testing.T) {
+	if !ValidFingerprint(fp(7)) {
+		t.Error("rejected a valid digest")
+	}
+	for _, bad := range []string{"", "short", fp(7)[:63] + "G", "../../../../etc/passwd"} {
+		if ValidFingerprint(bad) {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(t, fp(1))
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(fp(1))
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if !got.Mapping.EquivalentTo(rec.Mapping) || got.MappingFingerprint != rec.MappingFingerprint {
+		t.Error("record changed through the store")
+	}
+
+	// A fresh store over the same directory must serve the record from
+	// its JSON file.
+	st2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok, err := st2.Get(fp(1))
+	if err != nil || !ok {
+		t.Fatalf("disk get: ok=%v err=%v", ok, err)
+	}
+	if !got2.Mapping.EquivalentTo(rec.Mapping) || got2.SimSeconds != rec.SimSeconds {
+		t.Error("disk round-trip changed the record")
+	}
+	if _, ok, _ := st2.Get(fp(99)); ok {
+		t.Error("phantom record")
+	}
+}
+
+func TestStoreRejectsBadRecords(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&Record{Fingerprint: "nope"}); err == nil {
+		t.Error("accepted invalid fingerprint")
+	}
+	if err := st.Put(&Record{Fingerprint: fp(1)}); err == nil {
+		t.Error("accepted record without mapping")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := st.Put(testRecord(t, fp(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("len = %d, want 2", st.Len())
+	}
+	// fp(1) was evicted from memory but must reload from disk.
+	if _, ok, err := st.Get(fp(1)); err != nil || !ok {
+		t.Errorf("evicted record lost entirely: ok=%v err=%v", ok, err)
+	}
+	if st.Len() != 2 {
+		t.Errorf("reload grew the LRU past its cap: %d", st.Len())
+	}
+
+	// Memory-only stores drop evicted entries for good.
+	mem, err := Open(Config{MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mem.Put(testRecord(t, fp(1)))
+	_ = mem.Put(testRecord(t, fp(2)))
+	if _, ok, _ := mem.Get(fp(1)); ok {
+		t.Error("memory-only store resurrected an evicted record")
+	}
+}
+
+// TestStoreSingleFlight is the concurrency contract: many goroutines
+// requesting one fingerprint trigger exactly one compute, and everyone
+// shares its outcome. Run with -race.
+func TestStoreSingleFlight(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes int32
+	rec := testRecord(t, fp(5))
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]*Record, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = st.GetOrCompute(fp(5), func() (*Record, error) {
+				atomic.AddInt32(&computes, 1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return rec, nil
+			})
+		}(g)
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if results[g] != rec {
+			t.Errorf("goroutine %d got a different record", g)
+		}
+	}
+	// Afterwards it's a plain cache hit.
+	if _, err := st.GetOrCompute(fp(5), func() (*Record, error) {
+		t.Error("compute ran on a warm cache")
+		return nil, errors.New("unreachable")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.StatsSnapshot()
+	if stats.Computes != 1 || stats.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 compute / 1 entry", stats)
+	}
+}
+
+// TestStoreSingleFlightConcurrentKeys: distinct keys compute
+// independently and concurrently without cross-talk. Run with -race.
+func TestStoreSingleFlightConcurrentKeys(t *testing.T) {
+	st, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys, per = 8, 8
+	var computes int32
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		rec := testRecord(t, fp(100+k))
+		for g := 0; g < per; g++ {
+			wg.Add(1)
+			go func(k int, rec *Record) {
+				defer wg.Done()
+				got, err := st.GetOrCompute(fp(100+k), func() (*Record, error) {
+					atomic.AddInt32(&computes, 1)
+					time.Sleep(5 * time.Millisecond)
+					return rec, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Fingerprint != fp(100+k) {
+					t.Errorf("key %d served record %s", k, got.Fingerprint)
+				}
+			}(k, rec)
+		}
+	}
+	wg.Wait()
+	if computes != keys {
+		t.Errorf("computes = %d, want %d (one per key)", computes, keys)
+	}
+}
+
+func TestStoreComputeErrorNotCached(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("transient")
+	if _, err := st.GetOrCompute(fp(9), func() (*Record, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the compute error", err)
+	}
+	// The failure must not poison the key.
+	rec := testRecord(t, fp(9))
+	got, err := st.GetOrCompute(fp(9), func() (*Record, error) { return rec, nil })
+	if err != nil || got != rec {
+		t.Fatalf("retry after error: got %v err %v", got, err)
+	}
+}
+
+func TestStoreRejectsCorruptDiskRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fp(3)+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(fp(3)); err == nil {
+		t.Error("corrupt record served without error")
+	}
+}
+
+func TestStoreComputeKeyMismatch(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetOrCompute(fp(1), func() (*Record, error) {
+		return testRecord(t, fp(2)), nil
+	}); err == nil {
+		t.Error("mismatched record key accepted")
+	}
+}
+
+func TestStoreRejectsMiskeyedDiskRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persist a record, then copy its file under a different fingerprint
+	// (e.g. an operator renaming cache files by hand).
+	if err := st.Put(testRecord(t, fp(1))); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fp(1)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fp(2)+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(fp(2)); err == nil {
+		t.Error("mis-keyed disk record served without error")
+	}
+}
