@@ -1,0 +1,207 @@
+// Command benchjson runs the repository's campaign and trace-replay
+// benchmarks through testing.Benchmark and emits the results as JSON, so
+// the performance trajectory can be tracked across commits:
+//
+//	benchjson [-o BENCH_campaign.json] [-machines 4] [-seed 1]
+//
+// The output is one self-contained document: host facts plus one entry
+// per benchmark with iterations, ns/op and the benchmark's custom
+// metrics (machines/s, samples/s, ...).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dramdig"
+	"dramdig/internal/core"
+	"dramdig/internal/machine"
+	"dramdig/internal/trace"
+)
+
+// benchResult is one benchmark's row in the JSON document.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	CreatedUnix int64         `json:"created_unix"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_campaign.json", "output file (- for stdout)")
+		machines = flag.Int("machines", 4, "campaign size (cheapest paper settings first)")
+		seed     = flag.Int64("seed", 1, "campaign tool seed")
+	)
+	flag.Parse()
+
+	specs := campaignSpecs(*machines)
+	doc := document{
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		row := benchResult{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+			Metrics:    map[string]float64{},
+		}
+		for k, v := range r.Extra {
+			row.Metrics[k] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s %10d ns/op  %v\n", name, r.NsPerOp(), r.Extra)
+	}
+
+	run("campaign_sequential", func(b *testing.B) { benchCampaign(b, specs, 1, *seed) })
+	run(fmt.Sprintf("campaign_pooled_%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchCampaign(b, specs, runtime.GOMAXPROCS(0), *seed)
+	})
+	run("trace_record", benchTraceRecord)
+	run("trace_replay_strict", benchTraceReplay)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(doc.Benchmarks))
+}
+
+// campaignSpecs picks n of the paper's cheaper settings (same choice as
+// the root BenchmarkCampaign: No.1, No.4, No.7, No.8 first).
+func campaignSpecs(n int) []dramdig.CampaignSpec {
+	all := dramdig.PaperCampaign(42)
+	order := []int{0, 3, 6, 7, 1, 2, 4, 5, 8}
+	if n <= 0 || n > len(order) {
+		n = len(order)
+	}
+	specs := make([]dramdig.CampaignSpec, 0, n)
+	for _, i := range order[:n] {
+		specs = append(specs, all[i])
+	}
+	return specs
+}
+
+func benchCampaign(b *testing.B, specs []dramdig.CampaignSpec, workers int, seed int64) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dramdig.RunCampaign(context.Background(), specs, dramdig.CampaignConfig{
+			Workers: workers,
+			Seed:    seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Succeeded != len(specs) {
+			b.Fatalf("campaign degraded: %d/%d jobs ok", rep.Succeeded, rep.Total)
+		}
+	}
+	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "machines/s")
+}
+
+// benchTraceRecord measures the recording overhead over a full pipeline
+// run on setting No.4.
+func benchTraceRecord(b *testing.B) {
+	var samples int
+	for i := 0; i < b.N; i++ {
+		m, err := machine.NewByNo(4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, trace.HeaderFor(m, "dramdig", 42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := trace.NewRecorder(m, w)
+		tool, err := core.New(rec, core.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tool.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		samples = rec.Samples()
+	}
+	b.ReportMetric(float64(samples*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchTraceReplay measures offline replay throughput: the full pipeline
+// re-served from a recorded trace with zero simulation.
+func benchTraceReplay(b *testing.B) {
+	m, err := machine.NewByNo(4, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.HeaderFor(m, "dramdig", 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder(m, w)
+	tool, err := core.New(rec, core.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tool.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := trace.NewReplayer(tr, trace.Strict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tool, err := core.New(rep, core.Config{Seed: tr.Header.ToolSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tool.Run(); err != nil {
+			b.Fatalf("%v (replayer: %v)", err, rep.Err())
+		}
+		if rep.Err() != nil {
+			b.Fatal(rep.Err())
+		}
+	}
+	b.ReportMetric(float64(len(tr.Samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

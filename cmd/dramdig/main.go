@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 
+	"dramdig/internal/addr"
 	"dramdig/internal/core"
 	"dramdig/internal/drama"
 	"dramdig/internal/machine"
+	"dramdig/internal/mapping"
 	"dramdig/internal/seaborn"
 	"dramdig/internal/xiao"
 )
@@ -29,7 +31,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print tool progress")
 		showTruth  = flag.Bool("truth", false, "print the simulator's ground-truth mapping")
 		baseline   = flag.String("baseline", "", "run a baseline instead of DRAMDig: drama, xiao or seaborn")
-		jsonOut    = flag.Bool("json", false, "print the recovered mapping as JSON (DRAMDig only)")
+		jsonOut    = flag.Bool("json", false, "print the recovered mapping as JSON (same schema for every tool)")
 		showReport = flag.Bool("report", false, "print the full run report (DRAMDig only)")
 	)
 	flag.Parse()
@@ -69,11 +71,7 @@ func main() {
 			fmt.Print(res.Report())
 		}
 		if *jsonOut {
-			data, err := json.MarshalIndent(res.Mapping, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(string(data))
+			printMappingJSON(res.Mapping, nil, nil, nil, 0)
 		}
 	case "drama":
 		tool, err := drama.New(m, drama.Config{Seed: *seed, Logf: logf})
@@ -90,6 +88,9 @@ func main() {
 		}
 		fmt.Printf("DRAMA result:     %s\n", res)
 		fmt.Printf("cost:             %.1f simulated s, %d attempts\n", res.TotalSimSeconds, res.Attempts)
+		if *jsonOut {
+			printMappingJSON(res.Mapping, res.Funcs, res.RowBits, res.ColBits, m.SysInfo().PhysBits())
+		}
 	case "xiao":
 		tool, err := xiao.New(m, xiao.Config{Seed: *seed, Logf: logf})
 		if err != nil {
@@ -106,6 +107,9 @@ func main() {
 		}
 		fmt.Printf("Xiao result:      %s\n", res)
 		fmt.Printf("cost:             %.1f simulated s\n", res.TotalSimSeconds)
+		if *jsonOut {
+			printMappingJSON(res.Mapping, res.Funcs, res.RowBits, res.ColBits, m.SysInfo().PhysBits())
+		}
 	case "seaborn":
 		tool, err := seaborn.New(m, seaborn.Config{Seed: *seed, Logf: logf})
 		if err != nil {
@@ -121,9 +125,46 @@ func main() {
 		}
 		fmt.Printf("Seaborn result:   %s\n", res)
 		fmt.Printf("cost:             %.1f simulated s\n", res.TotalSimSeconds)
+		if *jsonOut {
+			// The blind analysis recovers candidate bank functions only.
+			printMappingJSON(nil, res.CandidateFuncs, nil, nil, m.SysInfo().PhysBits())
+		}
 	default:
 		fatal(fmt.Errorf("unknown baseline %q (want drama, xiao or seaborn)", *baseline))
 	}
+}
+
+// mappingJSONOut mirrors the mapping wire schema (internal/mapping), so
+// every tool's -json output has the same shape even when a baseline
+// recovers only part of a mapping.
+type mappingJSONOut struct {
+	PhysBits  uint     `json:"phys_bits"`
+	BankFuncs []string `json:"bank_funcs"`
+	RowBits   string   `json:"row_bits"`
+	ColBits   string   `json:"col_bits"`
+}
+
+// printMappingJSON prints m when it is a complete validated mapping;
+// otherwise it assembles the same schema from the partial fields.
+func printMappingJSON(m *mapping.Mapping, funcs []uint64, rowBits, colBits []uint, physBits uint) {
+	var v any = m
+	if m == nil {
+		out := mappingJSONOut{
+			PhysBits:  physBits,
+			BankFuncs: make([]string, len(funcs)),
+			RowBits:   addr.FormatBitRanges(rowBits),
+			ColBits:   addr.FormatBitRanges(colBits),
+		}
+		for i, f := range funcs {
+			out.BankFuncs[i] = addr.FormatBits(addr.BitsFromMask(f))
+		}
+		v = out
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
 }
 
 func fatal(err error) {

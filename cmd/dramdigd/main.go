@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	dramdigd [-addr :8080] [-cache-dir DIR] [-workers N] [-retries N] [-v]
+//	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-workers N] [-retries N] [-v]
 //
 // API:
 //
-//	POST /campaigns              submit a campaign, returns {"id": "c1", ...}
-//	GET  /campaigns/{id}         status, streamed progress events, report
-//	GET  /mappings/{fingerprint} cached mapping by machine fingerprint
-//	GET  /healthz                liveness + store statistics
+//	POST /campaigns               submit a campaign, returns {"id": "c1", ...}
+//	GET  /campaigns/{id}          status, streamed progress events, report
+//	GET  /campaigns/{id}/trace    recorded timing traces: JSON index, ?job=N streams binary
+//	GET  /mappings/{fingerprint}  cached mapping by machine fingerprint
+//	GET  /traces/{fingerprint}    recorded timing trace by machine fingerprint
+//	GET  /healthz                 liveness + store statistics
+//
+// With -trace-dir set, every campaign job runs behind an internal/trace
+// recorder and its full timing channel persists content-addressed next
+// to the results — replay it offline with `tracectl replay`.
 //
 // Example:
 //
@@ -44,6 +50,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheDir   = flag.String("cache-dir", "", "persist results as JSON under this directory (empty: memory only)")
+		traceDir   = flag.String("trace-dir", "", "record every job's timing trace under this directory (empty: tracing off)")
 		maxEntries = flag.Int("cache-entries", 128, "in-memory LRU capacity")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "default campaign worker pool size")
 		retries    = flag.Int("retries", 1, "extra attempts per failed job (0 disables retries)")
@@ -58,7 +65,7 @@ func main() {
 		}
 	}
 
-	st, err := store.Open(store.Config{Dir: *cacheDir, MaxEntries: *maxEntries})
+	st, err := store.Open(store.Config{Dir: *cacheDir, TraceDir: *traceDir, MaxEntries: *maxEntries})
 	if err != nil {
 		fatal(err)
 	}
@@ -72,7 +79,7 @@ func main() {
 	if r == 0 {
 		r = -1
 	}
-	srv := newServer(ctx, st, *workers, r, logf)
+	srv := newServer(ctx, st, *workers, r, *traceDir != "", logf)
 	httpSrv := &http.Server{
 		Addr:        *addr,
 		Handler:     srv,

@@ -8,7 +8,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"dramdig/internal/campaign"
@@ -27,6 +29,9 @@ type server struct {
 	baseCtx context.Context
 	workers int
 	retries int
+	// tracing records every campaign job's timing channel into the
+	// store's trace tier, content-addressed by machine fingerprint.
+	tracing bool
 	logf    func(format string, args ...any)
 	// runCampaign is campaign.Run, injectable for handler tests.
 	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
@@ -50,12 +55,15 @@ type campaignState struct {
 	status string // "running", "done", "failed"
 	total  int
 	done   int
+	// specs keeps the submitted jobs so the trace endpoint can map job
+	// indices to machine fingerprints.
+	specs  []campaign.Spec
 	events []campaign.Event
 	report *campaign.Report
 	errMsg string
 }
 
-func newServer(baseCtx context.Context, st *store.Store, workers, retries int, logf func(string, ...any)) *server {
+func newServer(baseCtx context.Context, st *store.Store, workers, retries int, tracing bool, logf func(string, ...any)) *server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -64,6 +72,7 @@ func newServer(baseCtx context.Context, st *store.Store, workers, retries int, l
 		baseCtx:     baseCtx,
 		workers:     workers,
 		retries:     retries,
+		tracing:     tracing,
 		logf:        logf,
 		runCampaign: campaign.Run,
 		campaigns:   make(map[string]*campaignState),
@@ -71,7 +80,9 @@ func newServer(baseCtx context.Context, st *store.Store, workers, retries int, l
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /campaigns", s.handleCreateCampaign)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("GET /campaigns/{id}/trace", s.handleGetCampaignTrace)
 	s.mux.HandleFunc("GET /mappings/{fingerprint}", s.handleGetMapping)
+	s.mux.HandleFunc("GET /traces/{fingerprint}", s.handleGetTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -246,7 +257,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	s.running++
 	s.nextID++
 	id := fmt.Sprintf("c%d", s.nextID)
-	st := &campaignState{id: id, status: "running", total: len(specList)}
+	st := &campaignState{id: id, status: "running", total: len(specList), specs: specList}
 	s.campaigns[id] = st
 	s.order = append(s.order, id)
 	s.evictLocked()
@@ -258,6 +269,9 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		Seed:    seed,
 		OnEvent: st.onEvent,
 		Wrap:    s.storeWrap,
+	}
+	if s.tracing {
+		cfg.TraceSink = s.traceSink
 	}
 	// The operator's -workers flag is a ceiling, not a default a client
 	// may exceed.
@@ -371,6 +385,95 @@ func (s *server) storeWrap(spec campaign.Spec, run func() campaign.Outcome) camp
 		Match:  rec.Match,
 		Cached: true,
 	}
+}
+
+// traceSink records a campaign attempt's timing channel into the store,
+// content-addressed by the job's machine fingerprint — the same key its
+// result caches under. Retried attempts overwrite atomically, so the
+// stored trace is always the last attempt's complete recording.
+func (s *server) traceSink(spec campaign.Spec, index, attempt int) (io.WriteCloser, error) {
+	return s.st.TraceWriter(spec.Def.Fingerprint())
+}
+
+// campaignTraceJSON is one row of the campaign trace index.
+type campaignTraceJSON struct {
+	Job                int    `json:"job"`
+	Name               string `json:"name"`
+	MachineFingerprint string `json:"machine_fingerprint"`
+	Available          bool   `json:"available"`
+	Bytes              int64  `json:"bytes,omitempty"`
+	URL                string `json:"url,omitempty"`
+}
+
+// handleGetCampaignTrace serves a campaign's recorded timing traces:
+// without a query it returns a JSON index of the campaign's jobs and
+// their trace availability; with ?job=N it streams job N's binary trace.
+func (s *server) handleGetCampaignTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	st.mu.Lock()
+	specs := st.specs
+	st.mu.Unlock()
+
+	if jobStr := r.URL.Query().Get("job"); jobStr != "" {
+		job, err := strconv.Atoi(jobStr)
+		if err != nil || job < 0 || job >= len(specs) {
+			httpError(w, http.StatusBadRequest, "job %q out of range [0, %d)", jobStr, len(specs))
+			return
+		}
+		s.serveTrace(w, specs[job].Def.Fingerprint())
+		return
+	}
+
+	index := make([]campaignTraceJSON, 0, len(specs))
+	for i, spec := range specs {
+		fp := spec.Def.Fingerprint()
+		row := campaignTraceJSON{Job: i, Name: spec.Name, MachineFingerprint: fp}
+		if n, ok := s.st.StatTrace(fp); ok {
+			row.Available = true
+			row.Bytes = n
+			row.URL = fmt.Sprintf("/campaigns/%s/trace?job=%d", id, i)
+		}
+		index = append(index, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      id,
+		"tracing": s.tracing,
+		"traces":  index,
+	})
+}
+
+// handleGetTrace serves a stored trace directly by machine fingerprint,
+// the content-addressed sibling of GET /mappings/{fingerprint}.
+func (s *server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if !store.ValidFingerprint(fp) {
+		httpError(w, http.StatusBadRequest, "malformed fingerprint %q", fp)
+		return
+	}
+	s.serveTrace(w, fp)
+}
+
+func (s *server) serveTrace(w http.ResponseWriter, fp string) {
+	data, ok, err := s.st.GetTrace(fp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no trace for %s (is the daemon running with -trace-dir?)", fp)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", fp+".trace"))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
 }
 
 // jobJSON is one job row in a campaign status response.

@@ -19,7 +19,7 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(context.Background(), st, 2, 1, t.Logf)
+	return newServer(context.Background(), st, 2, 1, false, t.Logf)
 }
 
 func doJSON(t *testing.T, srv http.Handler, method, path, body string) (int, map[string]any) {
@@ -209,7 +209,7 @@ func TestDaemonShutdownCancelsCampaigns(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	srv := newServer(ctx, st, 2, 0, t.Logf)
+	srv := newServer(ctx, st, 2, 0, false, t.Logf)
 
 	started := make(chan struct{})
 	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {

@@ -1,0 +1,308 @@
+// Command tracectl records, inspects, perturbs and replays timing
+// traces (internal/trace binary streams).
+//
+// Usage:
+//
+//	tracectl record  -machine N [-seed S] [-tool-seed T] -o FILE [-v]
+//	tracectl info    FILE
+//	tracectl stats   FILE [-buckets N] [-width N]
+//	tracectl perturb -o OUT [-noise-seed S] [-jitter NS] [-outlier-prob P -outlier-amp NS -outlier-burst N] [-squeeze F] FILE
+//	tracectl replay  FILE [-mode strict|keyed] [-tool-seed T] [-v]
+//
+// A recorded campaign replays bit-identically offline:
+//
+//	tracectl record -machine 4 -o no4.trace
+//	tracectl replay no4.trace                 # same mapping, zero simulation
+//	tracectl perturb -jitter 2 -o noisy.trace no4.trace
+//	tracectl replay -mode keyed noisy.trace   # robustness under noise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dramdig/internal/core"
+	"dramdig/internal/machine"
+	"dramdig/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "record":
+		err = cmdRecord(args)
+	case "info":
+		err = cmdInfo(args)
+	case "stats":
+		err = cmdStats(args)
+	case "perturb":
+		err = cmdPerturb(args)
+	case "replay":
+		err = cmdReplay(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tracectl <record|info|stats|perturb|replay> [flags] [FILE]
+  record   run DRAMDig on a simulated machine and capture its timing channel
+  info     print a trace's header and sample count
+  stats    print the latency distribution and histogram
+  perturb  apply noise models (jitter, outlier bursts, squeeze) to a trace
+  replay   re-run DRAMDig offline from a trace, with zero simulation`)
+	os.Exit(2)
+}
+
+func logfFlag(verbose bool) func(string, ...any) {
+	if !verbose {
+		return func(string, ...any) {}
+	}
+	return func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+	}
+}
+
+// fileArg returns the single positional FILE argument of a flag set.
+func fileArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("want exactly one trace file argument, got %d", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Decode(f)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	machineNo := fs.Int("machine", 1, "paper machine setting (1-9)")
+	seed := fs.Int64("seed", 42, "machine seed (allocation layout, noise stream)")
+	toolSeed := fs.Int64("tool-seed", 42, "DRAMDig tool seed (stored in the header for replay)")
+	out := fs.String("o", "", "output trace file (required)")
+	verbose := fs.Bool("v", false, "print tool progress")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -o FILE is required")
+	}
+	m, err := machine.NewByNo(*machineNo, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f, trace.HeaderFor(m, "dramdig", *toolSeed))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	rec := trace.NewRecorder(m, w)
+	tool, err := core.New(rec, core.Config{Seed: *toolSeed, Logf: logfFlag(*verbose)})
+	if err != nil {
+		rec.Close()
+		return err
+	}
+	start := time.Now()
+	res, runErr := tool.Run()
+	if err := rec.Close(); err != nil {
+		return fmt.Errorf("record: %w", err)
+	}
+	if runErr != nil {
+		return fmt.Errorf("record: pipeline failed (trace kept): %w", runErr)
+	}
+	var size int64
+	if fi, err := os.Stat(*out); err == nil {
+		size = fi.Size()
+	}
+	fmt.Printf("machine:       %s (seed %d)\n", m.Name(), *seed)
+	fmt.Printf("mapping:       %s\n", res.Mapping)
+	fmt.Printf("fingerprint:   %s\n", res.Mapping.Fingerprint())
+	fmt.Printf("cost:          %.1f simulated s, %d measurements\n", res.TotalSimSeconds, res.Measurements)
+	fmt.Printf("trace:         %s (%d samples, %d bytes, %.2fs wall)\n",
+		*out, rec.Samples(), size, time.Since(start).Seconds())
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	t, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	h := t.Header
+	fmt.Printf("version:       %d\n", h.Version)
+	setting := "custom"
+	if h.Machine.No != 0 {
+		setting = fmt.Sprintf("setting %d", h.Machine.No)
+	}
+	fmt.Printf("machine:       %s (%s, seed %d)\n", h.Machine.Name, setting, h.Machine.Seed)
+	fmt.Printf("fingerprint:   %s\n", h.Machine.Fingerprint)
+	fmt.Printf("hardware:      %s %s, %s, %d GiB, %s\n",
+		h.Machine.Microarch, h.Machine.CPU, h.Machine.Standard,
+		h.Machine.MemBytes>>30, h.Machine.Config)
+	fmt.Printf("tool:          %s (seed %d)\n", h.Tool, h.ToolSeed)
+	if h.Note != "" {
+		fmt.Printf("note:          %s\n", h.Note)
+	}
+	st := trace.ComputeStats(t.Samples)
+	fmt.Printf("samples:       %d (%.1f simulated s)\n", st.Samples, st.SimSeconds)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	buckets := fs.Int("buckets", 40, "histogram buckets")
+	width := fs.Int("width", 60, "histogram bar width")
+	fs.Parse(args)
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	t, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	h, st, err := trace.Histogram(t.Samples, *buckets)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	fmt.Println()
+	fmt.Print(h.Render(st.Threshold(), *width))
+	return nil
+}
+
+func cmdPerturb(args []string) error {
+	fs := flag.NewFlagSet("perturb", flag.ExitOnError)
+	out := fs.String("o", "", "output trace file (required)")
+	noiseSeed := fs.Int64("noise-seed", 1, "noise stream seed")
+	jitter := fs.Float64("jitter", 0, "Gaussian jitter sigma (ns)")
+	outlierProb := fs.Float64("outlier-prob", 0, "per-sample outlier burst start probability")
+	outlierAmp := fs.Float64("outlier-amp", 120, "outlier spike amplitude (ns)")
+	outlierBurst := fs.Int("outlier-burst", 1, "outlier burst length (samples)")
+	squeeze := fs.Float64("squeeze", 0, "threshold-region squeeze factor (0<f<1 shrinks separation)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("perturb: -o FILE is required")
+	}
+	if *squeeze != 0 && (*squeeze < 0 || *squeeze >= 1) {
+		return fmt.Errorf("perturb: -squeeze %g out of range (want 0 < f < 1)", *squeeze)
+	}
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	var models []trace.Noise
+	if *jitter > 0 {
+		models = append(models, trace.Jitter{SigmaNs: *jitter})
+	}
+	if *outlierProb > 0 {
+		models = append(models, trace.Outliers{Prob: *outlierProb, AmpNs: *outlierAmp, Burst: *outlierBurst})
+	}
+	if *squeeze > 0 {
+		models = append(models, trace.Squeeze{Factor: *squeeze})
+	}
+	if len(models) == 0 {
+		return fmt.Errorf("perturb: give at least one of -jitter, -outlier-prob, -squeeze")
+	}
+	t, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	before := trace.ComputeStats(t.Samples)
+	perturbed := trace.Perturb(t, *noiseSeed, models...)
+	after := trace.ComputeStats(perturbed.Samples)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := perturbed.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("applied:       %s\n", perturbed.Header.Note)
+	fmt.Printf("before:        %s\n", before)
+	fmt.Printf("after:         %s\n", after)
+	fmt.Printf("wrote:         %s\n", *out)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	modeStr := fs.String("mode", "strict", "replay mode: strict (bit-identical) or keyed (order-independent)")
+	toolSeed := fs.Int64("tool-seed", 0, "DRAMDig tool seed (default: the header's recorded seed)")
+	verbose := fs.Bool("v", false, "print tool progress")
+	fs.Parse(args)
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "tool-seed" {
+			seedSet = true
+		}
+	})
+	path, err := fileArg(fs)
+	if err != nil {
+		return err
+	}
+	mode, err := trace.ParseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+	t, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	seed := t.Header.ToolSeed
+	if seedSet {
+		seed = *toolSeed
+	}
+	rep, err := trace.NewReplayer(t, mode)
+	if err != nil {
+		return err
+	}
+	tool, err := core.New(rep, core.Config{Seed: seed, Logf: logfFlag(*verbose)})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, runErr := tool.Run()
+	fmt.Printf("trace:         %s (%d samples, machine %s)\n", path, len(t.Samples), t.Header.Machine.Name)
+	fmt.Printf("replay:        %s mode, tool seed %d, %d calls served (%d reused), %.2fs wall\n",
+		mode, seed, rep.Calls(), rep.Reused(), time.Since(start).Seconds())
+	if derr := rep.Err(); derr != nil {
+		return fmt.Errorf("replay diverged from the recording: %w", derr)
+	}
+	if runErr != nil {
+		return fmt.Errorf("replay: pipeline failed: %w", runErr)
+	}
+	fmt.Printf("mapping:       %s\n", res.Mapping)
+	fmt.Printf("fingerprint:   %s\n", res.Mapping.Fingerprint())
+	fmt.Printf("cost:          %.1f simulated s, %d measurements (0 simulator calls)\n",
+		res.TotalSimSeconds, res.Measurements)
+	return nil
+}

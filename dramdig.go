@@ -32,9 +32,12 @@
 //     retries, progress events and aggregated reports;
 //   - internal/store — a content-addressed result cache (in-memory LRU,
 //     optional JSON persistence, single-flight deduplication) keyed by
-//     machine fingerprints;
-//   - cmd/dramdigd — the HTTP daemon serving campaigns and cached
-//     mappings as a JSON API.
+//     machine fingerprints, with a trace tier alongside;
+//   - internal/trace — timing-channel capture and offline replay: record
+//     any run's MeasurePair stream, replay it bit-identically with zero
+//     simulation, or perturb it through composable noise models;
+//   - cmd/dramdigd — the HTTP daemon serving campaigns, cached mappings
+//     and recorded traces as a JSON API.
 package dramdig
 
 import (
@@ -49,6 +52,7 @@ import (
 	"dramdig/internal/machine"
 	"dramdig/internal/mapping"
 	"dramdig/internal/rowhammer"
+	"dramdig/internal/trace"
 )
 
 // Machine is a simulated test machine (re-exported).
@@ -100,16 +104,7 @@ func Settings() []MachineDefinition { return machine.Settings() }
 // ReverseEngineer runs DRAMDig against the machine and returns the
 // recovered mapping with run statistics.
 func ReverseEngineer(m *Machine, opts Options) (*Result, error) {
-	cfg := core.Config{Seed: opts.Seed}
-	if opts.Config != nil {
-		cfg = *opts.Config
-	} else if opts.Log != nil {
-		log := opts.Log
-		cfg.Logf = func(format string, args ...any) {
-			io.WriteString(log, sprintfLine(format, args...))
-		}
-	}
-	tool, err := core.New(m, cfg)
+	tool, err := core.New(m, facadeConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +167,109 @@ func GeneratedCampaign(n int, seed int64) ([]CampaignSpec, error) {
 // results; see CampaignConfig for concurrency, retry and event options.
 func RunCampaign(ctx context.Context, specs []CampaignSpec, cfg CampaignConfig) (*CampaignReport, error) {
 	return campaign.Run(ctx, specs, cfg)
+}
+
+// Trace is a recorded timing channel (re-exported).
+type Trace = trace.Trace
+
+// TraceHeader is a trace's versioned preamble (re-exported).
+type TraceHeader = trace.Header
+
+// TraceSample is one recorded MeasurePair call (re-exported).
+type TraceSample = trace.Sample
+
+// Replay modes (re-exported).
+const (
+	// ReplayStrict re-serves samples in recorded order and errors on any
+	// divergence — bit-identical offline reruns.
+	ReplayStrict = trace.Strict
+	// ReplayKeyed serves samples by (pair, rounds) lookup — robust to
+	// reordered or repeated queries, e.g. under perturbation.
+	ReplayKeyed = trace.Keyed
+)
+
+// RecordTrace runs DRAMDig against the machine while capturing its whole
+// timing channel into w as an internal/trace binary stream. The returned
+// result is the live run's; decode the bytes with DecodeTrace and replay
+// them offline with ReplayTrace.
+func RecordTrace(m *Machine, w io.Writer, opts Options) (*Result, error) {
+	cfg := facadeConfig(opts)
+	tw, err := trace.NewWriter(w, trace.HeaderFor(m, "dramdig", cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(m, tw)
+	tool, err := core.New(rec, cfg)
+	if err != nil {
+		rec.Close()
+		return nil, err
+	}
+	res, runErr := tool.Run()
+	if cerr := rec.Close(); cerr != nil && runErr == nil {
+		return nil, cerr
+	}
+	return res, runErr
+}
+
+// DecodeTrace reads a recorded trace.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// ReplayTrace re-runs DRAMDig offline from a recorded trace: the
+// machine's surface rebuilds from the trace header and every latency is
+// served from the recording — zero simulation. With the recorded tool
+// seed (the default) and ReplayStrict, the run is bit-identical to the
+// recorded one.
+func ReplayTrace(t *Trace, mode trace.Mode, opts Options) (*Result, error) {
+	rep, err := trace.NewReplayer(t, mode)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed == 0 && opts.Config == nil {
+		opts.Seed = t.Header.ToolSeed
+	}
+	tool, err := core.New(rep, facadeConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := tool.Run()
+	if derr := rep.Err(); derr != nil {
+		return nil, derr
+	}
+	return res, runErr
+}
+
+// TraceNoise is a composable trace noise model (re-exported).
+type TraceNoise = trace.Noise
+
+// TraceJitter adds zero-mean Gaussian latency noise (re-exported).
+type TraceJitter = trace.Jitter
+
+// TraceOutliers injects latency spike bursts (re-exported).
+type TraceOutliers = trace.Outliers
+
+// TraceSqueeze contracts the threshold-region separation (re-exported).
+type TraceSqueeze = trace.Squeeze
+
+// PerturbTrace applies noise models to a recorded trace in order, each
+// with a deterministic rng derived from seed, and returns a new trace
+// whose header note records the chain.
+func PerturbTrace(t *Trace, seed int64, models ...TraceNoise) *Trace {
+	return trace.Perturb(t, seed, models...)
+}
+
+// facadeConfig assembles a tool config from facade options, shared by
+// ReverseEngineer, RecordTrace and ReplayTrace.
+func facadeConfig(opts Options) core.Config {
+	cfg := core.Config{Seed: opts.Seed}
+	if opts.Config != nil {
+		cfg = *opts.Config
+	} else if opts.Log != nil {
+		log := opts.Log
+		cfg.Logf = func(format string, args ...any) {
+			io.WriteString(log, sprintfLine(format, args...))
+		}
+	}
+	return cfg
 }
 
 // ExperimentOptions configures experiment regeneration (re-exported).

@@ -11,13 +11,15 @@
 // deliberately knows nothing about HTTP or persistence. Per-job execution
 // can be wrapped (Config.Wrap) so a caller may interpose a result cache —
 // the daemon uses this to back jobs with the internal/store single-flight
-// cache.
+// cache — and each attempt's timing channel can be captured into an
+// internal/trace stream (Config.TraceSink) for offline replay.
 package campaign
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -25,6 +27,8 @@ import (
 
 	"dramdig/internal/core"
 	"dramdig/internal/machine"
+	"dramdig/internal/timing"
+	"dramdig/internal/trace"
 )
 
 // Spec is one campaign job: a machine to build and reverse-engineer.
@@ -167,6 +171,12 @@ type Config struct {
 	// may return a cached Outcome instead of calling run. See
 	// cmd/dramdigd for the store-backed interceptor.
 	Wrap func(spec Spec, run func() Outcome) Outcome
+	// TraceSink, when non-nil, supplies a sink per pipeline attempt for
+	// recording the job's timing channel as an internal/trace stream
+	// (header + every MeasurePair sample). Returning (nil, nil) skips
+	// tracing that attempt; a sink error fails the attempt. The engine
+	// closes the sink when the attempt finishes, success or not.
+	TraceSink func(spec Spec, index, attempt int) (io.WriteCloser, error)
 }
 
 func (c *Config) setDefaults() {
@@ -324,11 +334,40 @@ func runAttempt(spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, er
 		toolCfg = *spec.Tool
 	}
 	toolCfg.Seed = cfg.Seed + int64(idx)*7919 + int64(attempt)*104729
-	tool, err := core.New(m, toolCfg)
+
+	// With a trace sink configured, the tool runs over a recorder so the
+	// attempt's whole timing channel is captured for offline replay.
+	var target timing.Target = m
+	var rec *trace.Recorder
+	if cfg.TraceSink != nil {
+		sink, err := cfg.TraceSink(spec, idx, attempt)
+		if err != nil {
+			return nil, false, fmt.Errorf("campaign: trace sink: %w", err)
+		}
+		if sink != nil {
+			w, err := trace.NewWriter(sink, trace.HeaderFor(m, "dramdig", toolCfg.Seed))
+			if err != nil {
+				sink.Close()
+				return nil, false, fmt.Errorf("campaign: trace writer: %w", err)
+			}
+			rec = trace.NewRecorder(m, w)
+			target = rec
+		}
+	}
+
+	tool, err := core.New(target, toolCfg)
 	if err != nil {
+		if rec != nil {
+			rec.Close()
+		}
 		return nil, false, err
 	}
 	res, err := tool.Run()
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil && err == nil {
+			return nil, false, fmt.Errorf("campaign: trace recording: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"dramdig/internal/core"
+	"dramdig/internal/trace"
+)
+
+// closeBuffer is a bytes.Buffer that records Close calls.
+type closeBuffer struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (b *closeBuffer) Close() error { b.closed = true; return nil }
+
+// TestCampaignTraceSink is the capture→replay loop at the campaign
+// layer: a traced job's recording, replayed strictly through the
+// Replayer with zero simulator involvement, recovers the identical
+// mapping fingerprint.
+func TestCampaignTraceSink(t *testing.T) {
+	spec, err := PaperSpec(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := map[[2]int]*closeBuffer{}
+	rep, err := Run(context.Background(), []Spec{spec}, Config{
+		Workers: 1,
+		Seed:    1,
+		TraceSink: func(_ Spec, index, attempt int) (io.WriteCloser, error) {
+			b := &closeBuffer{}
+			sinks[[2]int{index, attempt}] = b
+			return b, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 1 {
+		t.Fatalf("job failed: %v", rep.Jobs[0].Err)
+	}
+	buf, ok := sinks[[2]int{0, 0}]
+	if !ok {
+		t.Fatalf("no sink for job 0 attempt 0 (sinks: %v)", len(sinks))
+	}
+	if !buf.closed {
+		t.Fatal("engine did not close the sink")
+	}
+
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Machine.Fingerprint != spec.Def.Fingerprint() {
+		t.Fatalf("trace keyed %s, machine is %s", tr.Header.Machine.Fingerprint, spec.Def.Fingerprint())
+	}
+	if uint64(len(tr.Samples)) != rep.Jobs[0].Result.Measurements {
+		t.Fatalf("trace has %d samples, job reports %d measurements",
+			len(tr.Samples), rep.Jobs[0].Result.Measurements)
+	}
+
+	replayer, err := trace.NewReplayer(tr, trace.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, err := core.New(replayer, core.Config{Seed: tr.Header.ToolSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tool.Run()
+	if err != nil {
+		t.Fatalf("replay failed: %v (replayer: %v)", err, replayer.Err())
+	}
+	if rerr := replayer.Err(); rerr != nil {
+		t.Fatalf("replay diverged: %v", rerr)
+	}
+	if got, want := res.Mapping.Fingerprint(), rep.Jobs[0].Fingerprint; got != want {
+		t.Fatalf("replayed fingerprint %s, campaign recovered %s", got, want)
+	}
+}
+
+// TestCampaignTraceSinkSkips: a nil sink disables tracing for the
+// attempt without failing the job.
+func TestCampaignTraceSinkSkips(t *testing.T) {
+	spec, err := PaperSpec(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	rep, err := Run(context.Background(), []Spec{spec}, Config{
+		Workers: 1,
+		Seed:    1,
+		TraceSink: func(Spec, int, int) (io.WriteCloser, error) {
+			calls++
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 1 {
+		t.Fatalf("job failed: %v", rep.Jobs[0].Err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink consulted %d times, want 1", calls)
+	}
+}

@@ -62,19 +62,23 @@ type Definition struct {
 // Machine is a fully assembled simulated machine.
 type Machine struct {
 	def   Definition
+	seed  int64
 	info  sysinfo.Info
 	truth *mapping.Mapping
 	ctrl  *memctrl.Controller
 	pool  *alloc.Pool
 }
 
-// New builds the machine. The seed determines the allocation layout, the
-// noise stream and the weak-cell population; a given (definition, seed)
-// pair is fully reproducible.
-func New(def Definition, seed int64) (*Machine, error) {
+// Surface builds the tool-visible surface of a definition — the
+// decode-dimms/dmidecode system information and the simulated
+// physical-page allocation — without the simulator behind it. The pool
+// is identical to the one New builds for the same (definition, seed)
+// pair; trace replay uses this to reconstruct a recorded machine's
+// address space offline.
+func Surface(def Definition, seed int64) (sysinfo.Info, *alloc.Pool, error) {
 	chip, err := specs.Lookup(def.ChipPart)
 	if err != nil {
-		return nil, fmt.Errorf("machine %s: %w", def.Name, err)
+		return sysinfo.Info{}, nil, fmt.Errorf("machine %s: %w", def.Name, err)
 	}
 	info := sysinfo.Info{
 		Microarch: def.Microarch,
@@ -86,7 +90,23 @@ func New(def Definition, seed int64) (*Machine, error) {
 		ECC:       false,
 	}
 	if err := info.Validate(); err != nil {
-		return nil, fmt.Errorf("machine %s: %w", def.Name, err)
+		return sysinfo.Info{}, nil, fmt.Errorf("machine %s: %w", def.Name, err)
+	}
+	allocRng := rand.New(rand.NewSource(seed*1048583 + int64(def.No)))
+	pool, err := alloc.NewPool(alloc.DefaultConfig(def.MemBytes), allocRng)
+	if err != nil {
+		return sysinfo.Info{}, nil, fmt.Errorf("machine %s: %w", def.Name, err)
+	}
+	return info, pool, nil
+}
+
+// New builds the machine. The seed determines the allocation layout, the
+// noise stream and the weak-cell population; a given (definition, seed)
+// pair is fully reproducible.
+func New(def Definition, seed int64) (*Machine, error) {
+	info, pool, err := Surface(def, seed)
+	if err != nil {
+		return nil, err
 	}
 	funcs, err := mapping.ParseFuncs(def.BankFuncs)
 	if err != nil {
@@ -128,16 +148,15 @@ func New(def Definition, seed int64) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine %s: %w", def.Name, err)
 	}
-	allocRng := rand.New(rand.NewSource(seed*1048583 + int64(def.No)))
-	pool, err := alloc.NewPool(alloc.DefaultConfig(def.MemBytes), allocRng)
-	if err != nil {
-		return nil, fmt.Errorf("machine %s: %w", def.Name, err)
-	}
-	return &Machine{def: def, info: info, truth: truth, ctrl: ctrl, pool: pool}, nil
+	return &Machine{def: def, seed: seed, info: info, truth: truth, ctrl: ctrl, pool: pool}, nil
 }
 
 // Def returns the definition.
 func (m *Machine) Def() Definition { return m.def }
+
+// Seed returns the machine seed New was called with; trace headers carry
+// it so replay can rebuild the identical allocation layout.
+func (m *Machine) Seed() int64 { return m.seed }
 
 // Name returns the short name ("No.1").
 func (m *Machine) Name() string { return m.def.Name }

@@ -1,0 +1,46 @@
+package mapping
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseMapping fuzzes the JSON wire format round trip: any bytes the
+// decoder accepts must re-encode to a form that decodes to an equivalent
+// mapping with an identical fingerprint, and the decoder must never
+// admit an invalid mapping.
+func FuzzParseMapping(f *testing.F) {
+	// Seed with the shapes the store and daemon actually persist.
+	f.Add([]byte(`{"phys_bits":33,"bank_funcs":["(6)","(14, 17)","(15, 18)","(16, 19)"],"row_bits":"17~32","col_bits":"0~5, 7~13"}`))
+	f.Add([]byte(`{"phys_bits":32,"bank_funcs":["(13, 16)","(14, 17)","(15, 18)"],"row_bits":"16~31","col_bits":"0~12"}`))
+	f.Add([]byte(`{"phys_bits":34,"bank_funcs":["(7, 14)","(15, 19)","(16, 20)","(17, 21)","(18, 22)","(8, 9, 12, 13, 18, 19)"],"row_bits":"19~33","col_bits":"0~7, 9~13"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"phys_bits":1e9,"bank_funcs":["(0)"],"row_bits":"1~64","col_bits":"-"}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Mapping
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		// Accepted mappings must be internally consistent enough to
+		// re-validate through the constructor path.
+		if _, err := New(m.PhysBits, m.BankFuncs, m.RowBits, m.ColBits); err != nil {
+			t.Fatalf("decoder admitted an invalid mapping %s: %v", &m, err)
+		}
+		out, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("re-encode failed for %q: %v", data, err)
+		}
+		var back Mapping
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip rejected its own output %q: %v", out, err)
+		}
+		if back.Fingerprint() != m.Fingerprint() {
+			t.Fatalf("round trip changed the mapping:\n in  %s\n out %s", &m, &back)
+		}
+		if !back.EquivalentTo(&m) {
+			t.Fatalf("round trip broke equivalence:\n in  %s\n out %s", &m, &back)
+		}
+	})
+}

@@ -6,12 +6,19 @@
 // computations for the same key with single-flight: when many campaign
 // jobs or daemon requests ask for the same machine configuration at once,
 // the pipeline runs exactly once and every caller shares the outcome.
+//
+// Next to each result the store can persist the run's recorded timing
+// trace (internal/trace binary streams), content-addressed by the same
+// machine fingerprint: <fp>.trace beside <fp>.json on disk, or a bounded
+// in-memory tier when no trace directory is configured.
 package store
 
 import (
+	"bytes"
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -71,8 +78,13 @@ type Config struct {
 	// Dir enables JSON persistence under this directory; empty keeps the
 	// store memory-only.
 	Dir string
+	// TraceDir is where recorded timing traces persist (one
+	// <fingerprint>.trace per machine). Empty falls back to Dir; with
+	// both empty, traces live in a bounded in-memory tier.
+	TraceDir string
 	// MaxEntries caps the in-memory LRU front (default 128). Persistence
-	// is unaffected by eviction: evicted records reload from disk.
+	// is unaffected by eviction: evicted records reload from disk. The
+	// same cap bounds the in-memory trace tier.
 	MaxEntries int
 }
 
@@ -101,6 +113,12 @@ type Store struct {
 	items  map[string]*list.Element // value: *Record
 	flight map[string]*flightCall
 	stats  Stats
+
+	// Trace tier: disk under traceDir, or the bounded memTraces map
+	// (FIFO by memTraceOrder) when no directory is configured.
+	traceDir      string
+	memTraces     map[string][]byte
+	memTraceOrder []string
 }
 
 type flightCall struct {
@@ -120,12 +138,23 @@ func Open(cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
+	traceDir := cfg.TraceDir
+	if traceDir == "" {
+		traceDir = cfg.Dir
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
 	return &Store{
-		dir:    cfg.Dir,
-		cap:    cfg.MaxEntries,
-		ll:     list.New(),
-		items:  make(map[string]*list.Element),
-		flight: make(map[string]*flightCall),
+		dir:       cfg.Dir,
+		cap:       cfg.MaxEntries,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		flight:    make(map[string]*flightCall),
+		traceDir:  traceDir,
+		memTraces: make(map[string][]byte),
 	}, nil
 }
 
@@ -301,4 +330,152 @@ func (s *Store) putLocked(rec *Record, persist bool) error {
 
 func (s *Store) path(fp string) string {
 	return filepath.Join(s.dir, fp+".json")
+}
+
+// --- trace tier --------------------------------------------------------
+
+// TracePath returns where a fingerprint's trace persists ("" when the
+// store keeps traces in memory).
+func (s *Store) TracePath(fp string) string {
+	if s.traceDir == "" {
+		return ""
+	}
+	return filepath.Join(s.traceDir, fp+".trace")
+}
+
+// TraceWriter returns a sink that stores the bytes written to it as the
+// fingerprint's trace when closed. On disk the write is atomic (temp
+// file + rename), so a crashed recording never leaves a half trace under
+// the content address; in memory the trace appears only on Close.
+func (s *Store) TraceWriter(fp string) (io.WriteCloser, error) {
+	if !ValidFingerprint(fp) {
+		return nil, fmt.Errorf("store: bad fingerprint %q", fp)
+	}
+	if s.traceDir == "" {
+		return &memTraceWriter{s: s, fp: fp}, nil
+	}
+	path := s.TracePath(fp)
+	f, err := os.CreateTemp(s.traceDir, fp+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// CreateTemp defaults to 0600; match the record files' permissions.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &fileTraceWriter{f: f, path: path}, nil
+}
+
+// PutTrace stores an already-encoded trace for the fingerprint.
+func (s *Store) PutTrace(fp string, data []byte) error {
+	w, err := s.TraceWriter(fp)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// GetTrace returns the stored trace bytes for the fingerprint.
+func (s *Store) GetTrace(fp string) ([]byte, bool, error) {
+	if !ValidFingerprint(fp) {
+		return nil, false, fmt.Errorf("store: bad fingerprint %q", fp)
+	}
+	if s.traceDir == "" {
+		s.mu.Lock()
+		data, ok := s.memTraces[fp]
+		s.mu.Unlock()
+		return data, ok, nil
+	}
+	data, err := os.ReadFile(s.TracePath(fp))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return data, true, nil
+}
+
+// StatTrace reports whether a trace exists for the fingerprint and its
+// size in bytes.
+func (s *Store) StatTrace(fp string) (int64, bool) {
+	if !ValidFingerprint(fp) {
+		return 0, false
+	}
+	if s.traceDir == "" {
+		s.mu.Lock()
+		data, ok := s.memTraces[fp]
+		s.mu.Unlock()
+		return int64(len(data)), ok
+	}
+	fi, err := os.Stat(s.TracePath(fp))
+	if err != nil {
+		return 0, false
+	}
+	return fi.Size(), true
+}
+
+// putMemTrace inserts into the bounded in-memory tier, evicting the
+// oldest distinct fingerprints past the cap.
+func (s *Store) putMemTrace(fp string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.memTraces[fp]; !ok {
+		s.memTraceOrder = append(s.memTraceOrder, fp)
+		for len(s.memTraceOrder) > s.cap {
+			evict := s.memTraceOrder[0]
+			s.memTraceOrder = s.memTraceOrder[1:]
+			delete(s.memTraces, evict)
+		}
+	}
+	s.memTraces[fp] = data
+}
+
+type memTraceWriter struct {
+	s      *Store
+	fp     string
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (w *memTraceWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *memTraceWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.s.putMemTrace(w.fp, w.buf.Bytes())
+	return nil
+}
+
+type fileTraceWriter struct {
+	f      *os.File
+	path   string
+	closed bool
+}
+
+func (w *fileTraceWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+func (w *fileTraceWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	tmp := w.f.Name()
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }

@@ -287,3 +287,105 @@ func TestStoreRejectsMiskeyedDiskRecord(t *testing.T) {
 		t.Error("mis-keyed disk record served without error")
 	}
 }
+
+func TestStoreTraceTierDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: filepath.Join(dir, "records"), TraceDir: filepath.Join(dir, "traces")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fp(3)
+	if _, ok, _ := s.GetTrace(key); ok {
+		t.Fatal("trace present before put")
+	}
+	if _, ok := s.StatTrace(key); ok {
+		t.Fatal("stat present before put")
+	}
+	payload := []byte("DRTR-pretend-trace-bytes")
+	w, err := s.TraceWriter(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Atomicity: nothing at the content address until Close.
+	if _, ok := s.StatTrace(key); ok {
+		t.Fatal("trace visible before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.GetTrace(key)
+	if err != nil || !ok {
+		t.Fatalf("GetTrace: ok=%v err=%v", ok, err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("trace bytes corrupted: %q", got)
+	}
+	if n, ok := s.StatTrace(key); !ok || n != int64(len(payload)) {
+		t.Fatalf("StatTrace = %d,%v", n, ok)
+	}
+	if s.TracePath(key) == "" {
+		t.Fatal("disk store reports no trace path")
+	}
+	// No stray temp files.
+	entries, err := os.ReadDir(filepath.Join(dir, "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("trace dir holds %d entries, want 1", len(entries))
+	}
+
+	// A second store over the same directories sees the trace.
+	s2, err := Open(Config{Dir: filepath.Join(dir, "records"), TraceDir: filepath.Join(dir, "traces")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s2.GetTrace(key); !ok {
+		t.Fatal("trace not shared across store instances")
+	}
+
+	if _, err := s.TraceWriter("../evil"); err == nil {
+		t.Fatal("TraceWriter accepted a malformed fingerprint")
+	}
+	if _, _, err := s.GetTrace("../evil"); err == nil {
+		t.Fatal("GetTrace accepted a malformed fingerprint")
+	}
+}
+
+func TestStoreTraceTierMemory(t *testing.T) {
+	s, err := Open(Config{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TracePath(fp(1)) != "" {
+		t.Fatal("memory store reports a trace path")
+	}
+	for i := 1; i <= 3; i++ {
+		if err := s.PutTrace(fp(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// FIFO eviction past the cap: fp(1) is gone, fp(2) and fp(3) remain.
+	if _, ok, _ := s.GetTrace(fp(1)); ok {
+		t.Fatal("oldest trace survived past the cap")
+	}
+	for i := 2; i <= 3; i++ {
+		data, ok, err := s.GetTrace(fp(i))
+		if err != nil || !ok || len(data) != 1 || data[0] != byte(i) {
+			t.Fatalf("trace %d: ok=%v err=%v data=%v", i, ok, err, data)
+		}
+	}
+	// Overwriting does not double-count against the cap.
+	if err := s.PutTrace(fp(3), []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok, _ := s.GetTrace(fp(3)); !ok || data[0] != 9 {
+		t.Fatal("overwrite lost")
+	}
+	if _, ok, _ := s.GetTrace(fp(2)); !ok {
+		t.Fatal("overwrite evicted a sibling")
+	}
+}

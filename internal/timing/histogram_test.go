@@ -52,6 +52,39 @@ func TestHistogramRender(t *testing.T) {
 	}
 }
 
+// TestHistogramRenderGolden pins the exact rendering — trace diagnostics
+// (tracectl stats) and the examples show this text to users, so format
+// drift should be a conscious choice, not an accident.
+func TestHistogramRenderGolden(t *testing.T) {
+	h, err := NewHistogram(40, 80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		h.Add(45, false) // bucket 0
+	}
+	for i := 0; i < 2; i++ {
+		h.Add(55, false) // bucket 1
+	}
+	h.Add(65, true)   // bucket 2
+	h.Add(75, true)   // bucket 3
+	h.Add(75, false)  // bucket 3, mixed bar
+	h.Add(999, true)  // clamps into the last bucket
+	h.Add(-999, true) // clamps into the first bucket
+
+	const golden = "ns        count  o = buffered/other-bank, # = row-buffer conflict\n" +
+		"    45.0  9     oooooooooooooo#\n" +
+		"    55.0  2     ooo\n" +
+		"    65.0  1     # <-- threshold\n" +
+		"    75.0  3     o###\n"
+	if got := h.Render(60, 16); got != golden {
+		t.Errorf("render drifted:\n got:\n%s\nwant:\n%s", got, golden)
+	}
+	if h.Total() != 15 {
+		t.Errorf("Total = %d, want 15", h.Total())
+	}
+}
+
 // TestSampleChannelBimodal: sampling the real channel produces the
 // expected two modes with the conflicts above the threshold.
 func TestSampleChannelBimodal(t *testing.T) {

@@ -215,6 +215,15 @@ func abs(x float64) float64 {
 	return x
 }
 
+// TwoMeans runs the calibration's 1-D 2-means clustering on an arbitrary
+// latency sample, returning cluster centers (lo <= hi) and the
+// high-cluster fraction. Trace diagnostics use it to characterize
+// recorded and perturbed timing channels with the exact model the Meter
+// calibrates with.
+func TwoMeans(vals []float64) (lo, hi, hiFrac float64, ok bool) {
+	return twoMeans(vals)
+}
+
 // twoMeans runs 1-D 2-means clustering, returning cluster centers
 // (lo <= hi) and the high-cluster fraction.
 func twoMeans(vals []float64) (lo, hi, hiFrac float64, ok bool) {

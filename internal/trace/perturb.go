@@ -1,0 +1,140 @@
+// Noise models: composable, deterministic transforms over recorded
+// traces, for stressing the Meter's SBDR decisions with controlled
+// degradations of the timing channel.
+
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dramdig/internal/timing"
+)
+
+// Noise transforms a sample stream. Implementations must be
+// deterministic given the rng and must not reorder or drop samples —
+// replay relies on positions (strict) and per-key counts (keyed).
+type Noise interface {
+	// Name renders the model and its parameters for provenance notes.
+	Name() string
+	// Transform returns the perturbed samples (in place or fresh).
+	Transform(rng *rand.Rand, samples []Sample) []Sample
+}
+
+// Perturb applies the models in order, each with an independent rng
+// derived from the seed, and returns a new trace whose header Note
+// records the applied chain. The input trace is not modified.
+func Perturb(t *Trace, seed int64, models ...Noise) *Trace {
+	out := &Trace{Header: t.Header}
+	out.Samples = append([]Sample(nil), t.Samples...)
+	names := make([]string, 0, len(models))
+	for i, m := range models {
+		rng := rand.New(rand.NewSource(seed + int64(i)*0x9e37))
+		out.Samples = m.Transform(rng, out.Samples)
+		names = append(names, m.Name())
+	}
+	note := "perturbed: " + strings.Join(names, " + ")
+	if t.Header.Note != "" {
+		note = t.Header.Note + "; " + note
+	}
+	out.Header.Note = note
+	return out
+}
+
+// Jitter adds zero-mean Gaussian noise to every latency — the drift-free
+// measurement noise floor of a busier host.
+type Jitter struct {
+	// SigmaNs is the standard deviation of the added noise.
+	SigmaNs float64
+}
+
+// Name renders the model.
+func (j Jitter) Name() string { return fmt.Sprintf("jitter(σ=%gns)", j.SigmaNs) }
+
+// Transform perturbs the samples.
+func (j Jitter) Transform(rng *rand.Rand, samples []Sample) []Sample {
+	for i := range samples {
+		samples[i].LatencyNs += rng.NormFloat64() * j.SigmaNs
+	}
+	return samples
+}
+
+// Outliers injects latency spike bursts: with probability Prob a burst
+// starts and the next Burst samples each gain AmpNs (± 10% Gaussian),
+// modelling interrupts, SMM excursions and refresh storms that inflate
+// whole measurement stretches.
+type Outliers struct {
+	// Prob is the per-sample burst start probability.
+	Prob float64
+	// AmpNs is the spike amplitude.
+	AmpNs float64
+	// Burst is the burst length in samples (default 1).
+	Burst int
+}
+
+// Name renders the model.
+func (o Outliers) Name() string {
+	return fmt.Sprintf("outliers(p=%g,amp=%gns,burst=%d)", o.Prob, o.AmpNs, o.burst())
+}
+
+func (o Outliers) burst() int {
+	if o.Burst < 1 {
+		return 1
+	}
+	return o.Burst
+}
+
+// Transform perturbs the samples.
+func (o Outliers) Transform(rng *rand.Rand, samples []Sample) []Sample {
+	remaining := 0
+	for i := range samples {
+		if remaining == 0 && rng.Float64() < o.Prob {
+			remaining = o.burst()
+		}
+		if remaining > 0 {
+			samples[i].LatencyNs += o.AmpNs * (1 + 0.1*rng.NormFloat64())
+			remaining--
+		}
+	}
+	return samples
+}
+
+// Squeeze contracts the latency distribution toward the midpoint of its
+// two clusters, shrinking the conflict/no-conflict separation by Factor:
+// 0 collapses the channel entirely, 1 is a no-op, and values above 1 are
+// accepted as the inverse stress (amplified separation). Negative
+// factors would mirror every latency around the midpoint — meaningless
+// as a noise model — and are clamped to 0. It attacks exactly the
+// margin the Meter's threshold lives on.
+type Squeeze struct {
+	// Factor scales the distance of every latency from the cluster
+	// midpoint (clamped to >= 0).
+	Factor float64
+}
+
+// Name renders the model.
+func (s Squeeze) Name() string { return fmt.Sprintf("squeeze(×%g)", s.Factor) }
+
+// Transform perturbs the samples. A trace whose latencies do not
+// separate into two clusters is returned unchanged (there is no
+// threshold region to squeeze).
+func (s Squeeze) Transform(rng *rand.Rand, samples []Sample) []Sample {
+	vals := make([]float64, len(samples))
+	for i, sm := range samples {
+		vals[i] = sm.LatencyNs
+	}
+	lo, hi, _, ok := timing.TwoMeans(vals)
+	if !ok {
+		return samples
+	}
+	factor := s.Factor
+	if factor < 0 {
+		factor = 0
+	}
+	mid := (lo + hi) / 2
+	for i := range samples {
+		samples[i].LatencyNs = mid + (samples[i].LatencyNs-mid)*factor
+	}
+	return samples
+}

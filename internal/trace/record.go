@@ -1,0 +1,85 @@
+// Recorder: a timing.Target wrapper that captures every MeasurePair
+// call into a trace stream while forwarding to the real target.
+
+package trace
+
+import (
+	"sync"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/alloc"
+	"dramdig/internal/sysinfo"
+	"dramdig/internal/timing"
+)
+
+// Recorder wraps a timing.Target and appends one Sample per MeasurePair
+// call to a Writer. Everything else forwards untouched, so a tool
+// running over a Recorder behaves exactly as it would over the bare
+// target. Safe for concurrent use (one campaign job per recorder is the
+// norm, but nothing breaks if a tool measures from several goroutines).
+type Recorder struct {
+	target timing.Target
+	mu     sync.Mutex
+	w      *Writer
+	err    error
+}
+
+var _ timing.Target = (*Recorder)(nil)
+
+// NewRecorder wraps the target; samples stream into w. The caller
+// closes w (or the recorder, via Close) when the run finishes.
+func NewRecorder(target timing.Target, w *Writer) *Recorder {
+	return &Recorder{target: target, w: w}
+}
+
+// MeasurePair forwards the measurement and records it.
+func (r *Recorder) MeasurePair(a, b addr.Phys, rounds int) float64 {
+	before := r.target.ClockNs()
+	v := r.target.MeasurePair(a, b, rounds)
+	elapsed := r.target.ClockNs() - before
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = r.w.Append(Sample{A: a, B: b, Rounds: rounds, LatencyNs: v, ElapsedNs: elapsed})
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// SysInfo forwards to the wrapped target.
+func (r *Recorder) SysInfo() sysinfo.Info { return r.target.SysInfo() }
+
+// Pool forwards to the wrapped target.
+func (r *Recorder) Pool() *alloc.Pool { return r.target.Pool() }
+
+// ClockNs forwards to the wrapped target.
+func (r *Recorder) ClockNs() float64 { return r.target.ClockNs() }
+
+// AdvanceClock forwards to the wrapped target.
+func (r *Recorder) AdvanceClock(ns float64) { r.target.AdvanceClock(ns) }
+
+// Samples returns the number of recorded measurements.
+func (r *Recorder) Samples() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.Count()
+}
+
+// Err returns the first write failure; recording stops (but measurement
+// forwarding continues) after one.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Close flushes and closes the underlying writer, reporting the first
+// of any recording or close error.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cerr := r.w.Close()
+	if r.err != nil {
+		return r.err
+	}
+	return cerr
+}

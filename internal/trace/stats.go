@@ -1,0 +1,99 @@
+// Trace diagnostics: distribution statistics and a histogram view of a
+// recorded timing channel, using the same two-cluster model the Meter
+// calibrates with.
+
+package trace
+
+import (
+	"fmt"
+
+	"dramdig/internal/timing"
+)
+
+// Stats characterizes a trace's latency distribution.
+type Stats struct {
+	// Samples is the record count; Calls distinguishes nothing here (one
+	// record per call) but SimSeconds sums the recorded elapsed time.
+	Samples    int
+	SimSeconds float64
+	// MinNs/MeanNs/MaxNs summarize the latencies.
+	MinNs, MeanNs, MaxNs float64
+	// LowCenter/HighCenter/HighFrac are the fitted two-cluster model;
+	// Separated reports whether the fit found two clusters at all.
+	LowCenter, HighCenter, HighFrac float64
+	Separated                       bool
+}
+
+// Threshold returns the midpoint decision boundary of the fitted
+// clusters (0 when the trace is not separated).
+func (s Stats) Threshold() float64 {
+	if !s.Separated {
+		return 0
+	}
+	return (s.LowCenter + s.HighCenter) / 2
+}
+
+// Separation returns the cluster-center distance.
+func (s Stats) Separation() float64 { return s.HighCenter - s.LowCenter }
+
+// String renders the statistics.
+func (s Stats) String() string {
+	if !s.Separated {
+		return fmt.Sprintf("%d samples, %.1f sim s, latency %.1f–%.1f ns (no cluster separation)",
+			s.Samples, s.SimSeconds, s.MinNs, s.MaxNs)
+	}
+	return fmt.Sprintf("%d samples, %.1f sim s, latency %.1f–%.1f ns; clusters %.1f / %.1f ns (sep %.1f, %.1f%% high)",
+		s.Samples, s.SimSeconds, s.MinNs, s.MaxNs,
+		s.LowCenter, s.HighCenter, s.Separation(), s.HighFrac*100)
+}
+
+// ComputeStats fits the distribution model to a sample stream.
+func ComputeStats(samples []Sample) Stats {
+	st := Stats{Samples: len(samples)}
+	if len(samples) == 0 {
+		return st
+	}
+	vals := make([]float64, len(samples))
+	st.MinNs, st.MaxNs = samples[0].LatencyNs, samples[0].LatencyNs
+	var sum float64
+	for i, s := range samples {
+		vals[i] = s.LatencyNs
+		sum += s.LatencyNs
+		if s.LatencyNs < st.MinNs {
+			st.MinNs = s.LatencyNs
+		}
+		if s.LatencyNs > st.MaxNs {
+			st.MaxNs = s.LatencyNs
+		}
+		st.SimSeconds += s.ElapsedNs / 1e9
+	}
+	st.MeanNs = sum / float64(len(samples))
+	st.LowCenter, st.HighCenter, st.HighFrac, st.Separated = timing.TwoMeans(vals)
+	return st
+}
+
+// Histogram buckets the trace's latencies into a timing.Histogram,
+// labelling samples above the fitted threshold as conflicts. Returns an
+// error when the trace is empty or degenerate.
+func Histogram(samples []Sample, buckets int) (*timing.Histogram, Stats, error) {
+	st := ComputeStats(samples)
+	if st.Samples == 0 {
+		return nil, st, fmt.Errorf("trace: no samples to histogram")
+	}
+	lo, hi := st.MinNs, st.MaxNs
+	if st.Separated {
+		lo, hi = st.LowCenter-10, st.HighCenter+10
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h, err := timing.NewHistogram(lo, hi, buckets)
+	if err != nil {
+		return nil, st, err
+	}
+	thr := st.Threshold()
+	for _, s := range samples {
+		h.Add(s.LatencyNs, st.Separated && s.LatencyNs >= thr)
+	}
+	return h, st, nil
+}
