@@ -10,6 +10,7 @@
 package dramdig
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -307,4 +308,56 @@ func BenchmarkCampaign(b *testing.B) {
 			b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "machines/s")
 		})
 	}
+}
+
+// --- Engine: live vs replay ------------------------------------------
+
+// BenchmarkEngineLiveVsReplay contrasts one full pipeline run on a live
+// simulated machine against the identical run re-served from a recorded
+// trace through the Engine/Source API — the offline path's speedup is
+// the reason recorded campaigns exist. cmd/benchjson mirrors this pair
+// into BENCH_campaign.json (engine_live_vs_replay) so the ratio is
+// tracked across PRs.
+func BenchmarkEngineLiveVsReplay(b *testing.B) {
+	record := func(b *testing.B) *Trace {
+		b.Helper()
+		m, err := NewMachine(4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := Run(context.Background(), LiveSource(m), WithSeed(42), WithTraceSink(&buf)); err != nil {
+			b.Fatal(err)
+		}
+		tr, err := DecodeTrace(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	b.Run("live", func(b *testing.B) {
+		var meas uint64
+		for i := 0; i < b.N; i++ {
+			m, err := NewMachine(4, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := Run(context.Background(), LiveSource(m), WithSeed(42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			meas = res.Measurements
+		}
+		b.ReportMetric(float64(meas)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+	b.Run("replay", func(b *testing.B) {
+		tr := record(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(context.Background(), TraceSource(tr, ReplayStrict)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tr.Samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
 }

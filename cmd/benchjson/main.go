@@ -1,4 +1,4 @@
-// Command benchjson runs the repository's campaign and trace-replay
+// Command benchjson runs the repository's campaign and engine
 // benchmarks through testing.Benchmark and emits the results as JSON, so
 // the performance trajectory can be tracked across commits:
 //
@@ -6,7 +6,9 @@
 //
 // The output is one self-contained document: host facts plus one entry
 // per benchmark with iterations, ns/op and the benchmark's custom
-// metrics (machines/s, samples/s, ...).
+// metrics (machines/s, samples/s, ...), including the
+// engine_live_vs_replay row tracking how much faster a trace replay is
+// than the live simulation it recorded.
 package main
 
 import (
@@ -21,8 +23,6 @@ import (
 	"time"
 
 	"dramdig"
-	"dramdig/internal/core"
-	"dramdig/internal/machine"
 	"dramdig/internal/trace"
 )
 
@@ -77,6 +77,40 @@ func main() {
 	})
 	run("trace_record", benchTraceRecord)
 	run("trace_replay_strict", benchTraceReplay)
+	run("engine_live", benchEngineLive)
+	run("engine_replay_strict", benchEngineReplay)
+
+	// BenchmarkEngineLiveVsReplay: one derived row so the JSON document
+	// tracks live-vs-trace-replay throughput directly across PRs. The
+	// inputs are looked up by name so reordering run() calls cannot
+	// silently pair the wrong benchmarks.
+	byName := func(name string) *benchResult {
+		for i := range doc.Benchmarks {
+			if doc.Benchmarks[i].Name == name {
+				return &doc.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+	live, replay := byName("engine_live"), byName("engine_replay_strict")
+	switch {
+	case live == nil || replay == nil || replay.NsPerOp <= 0:
+		fmt.Fprintln(os.Stderr, "benchjson: skipping engine_live_vs_replay (inputs missing or degenerate)")
+	default:
+		row := benchResult{
+			Name:       "engine_live_vs_replay",
+			Iterations: replay.Iterations,
+			NsPerOp:    replay.NsPerOp,
+			Metrics: map[string]float64{
+				"live_ns_op":     live.NsPerOp,
+				"replay_ns_op":   replay.NsPerOp,
+				"replay_speedup": live.NsPerOp / replay.NsPerOp,
+			},
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s replay speedup %.2fx\n",
+			row.Name, row.Metrics["replay_speedup"])
+	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -124,32 +158,42 @@ func benchCampaign(b *testing.B, specs []dramdig.CampaignSpec, workers int, seed
 	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "machines/s")
 }
 
+// recordedTrace runs the engine once over a fresh No.4 with a trace
+// sink and returns the decoded recording.
+func recordedTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	m, err := dramdig.NewMachine(4, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := dramdig.Run(context.Background(), dramdig.LiveSource(m),
+		dramdig.WithSeed(42), dramdig.WithTraceSink(&buf)); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := dramdig.DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
 // benchTraceRecord measures the recording overhead over a full pipeline
 // run on setting No.4.
 func benchTraceRecord(b *testing.B) {
 	var samples int
 	for i := 0; i < b.N; i++ {
-		m, err := machine.NewByNo(4, 42)
+		m, err := dramdig.NewMachine(4, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
 		var buf bytes.Buffer
-		w, err := trace.NewWriter(&buf, trace.HeaderFor(m, "dramdig", 42))
+		res, err := dramdig.Run(context.Background(), dramdig.LiveSource(m),
+			dramdig.WithSeed(42), dramdig.WithTraceSink(&buf))
 		if err != nil {
 			b.Fatal(err)
 		}
-		rec := trace.NewRecorder(m, w)
-		tool, err := core.New(rec, core.Config{Seed: 42})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := tool.Run(); err != nil {
-			b.Fatal(err)
-		}
-		if err := rec.Close(); err != nil {
-			b.Fatal(err)
-		}
-		samples = rec.Samples()
+		samples = int(res.Measurements)
 	}
 	b.ReportMetric(float64(samples*b.N)/b.Elapsed().Seconds(), "samples/s")
 }
@@ -157,45 +201,42 @@ func benchTraceRecord(b *testing.B) {
 // benchTraceReplay measures offline replay throughput: the full pipeline
 // re-served from a recorded trace with zero simulation.
 func benchTraceReplay(b *testing.B) {
-	m, err := machine.NewByNo(4, 42)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var buf bytes.Buffer
-	w, err := trace.NewWriter(&buf, trace.HeaderFor(m, "dramdig", 42))
-	if err != nil {
-		b.Fatal(err)
-	}
-	rec := trace.NewRecorder(m, w)
-	tool, err := core.New(rec, core.Config{Seed: 42})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if _, err := tool.Run(); err != nil {
-		b.Fatal(err)
-	}
-	if err := rec.Close(); err != nil {
-		b.Fatal(err)
-	}
-	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		b.Fatal(err)
-	}
+	tr := recordedTrace(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := trace.NewReplayer(tr, trace.Strict)
+		if _, err := dramdig.Run(context.Background(), dramdig.TraceSource(tr, dramdig.ReplayStrict)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchEngineLive measures one full live pipeline run per iteration —
+// the baseline of the live-vs-replay comparison.
+func benchEngineLive(b *testing.B) {
+	var meas uint64
+	for i := 0; i < b.N; i++ {
+		m, err := dramdig.NewMachine(4, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
-		tool, err := core.New(rep, core.Config{Seed: tr.Header.ToolSeed})
+		res, err := dramdig.Run(context.Background(), dramdig.LiveSource(m), dramdig.WithSeed(42))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := tool.Run(); err != nil {
-			b.Fatalf("%v (replayer: %v)", err, rep.Err())
-		}
-		if rep.Err() != nil {
-			b.Fatal(rep.Err())
+		meas = res.Measurements
+	}
+	b.ReportMetric(float64(meas)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchEngineReplay measures the identical pipeline served from a
+// recording — the replay side of the live-vs-replay comparison.
+func benchEngineReplay(b *testing.B) {
+	tr := recordedTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dramdig.Run(context.Background(), dramdig.TraceSource(tr, dramdig.ReplayStrict)); err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(len(tr.Samples)*b.N)/b.Elapsed().Seconds(), "samples/s")

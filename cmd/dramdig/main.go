@@ -1,7 +1,8 @@
 // Command dramdig reverse-engineers the DRAM address mapping of a
 // simulated machine and prints it in the paper's notation, alongside the
 // run's cost statistics and — when requested — the ground truth for
-// comparison.
+// comparison. The DRAMDig path runs through the facade Engine over a
+// live source; ^C cancels the pipeline mid-measurement.
 //
 // Usage:
 //
@@ -9,16 +10,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"dramdig"
 	"dramdig/internal/addr"
-	"dramdig/internal/core"
 	"dramdig/internal/drama"
-	"dramdig/internal/machine"
 	"dramdig/internal/mapping"
 	"dramdig/internal/seaborn"
 	"dramdig/internal/xiao"
@@ -36,7 +39,10 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := machine.NewByNo(*machineNo, *seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, err := dramdig.NewMachine(*machineNo, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -51,11 +57,8 @@ func main() {
 
 	switch *baseline {
 	case "":
-		tool, err := core.New(m, core.Config{Seed: *seed, Logf: logf})
-		if err != nil {
-			fatal(err)
-		}
-		res, err := tool.Run()
+		res, err := dramdig.Run(ctx, dramdig.LiveSource(m),
+			dramdig.WithSeed(*seed), dramdig.WithLogf(logf))
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +81,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := tool.Run()
+		res, err := tool.RunContext(ctx)
 		if errors.Is(err, drama.ErrTimeout) {
 			fmt.Printf("DRAMA: %v\n", err)
 			return
@@ -96,7 +99,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := tool.Run()
+		res, err := tool.RunContext(ctx)
 		var stuck *xiao.ErrStuck
 		if errors.As(err, &stuck) {
 			fmt.Printf("Xiao et al.: %v\n", err)
@@ -115,7 +118,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := tool.Run()
+		res, err := tool.RunContext(ctx)
 		if errors.Is(err, seaborn.ErrNoFlips) {
 			fmt.Printf("Seaborn et al.: %v\n", err)
 			return

@@ -8,14 +8,20 @@
 //
 //	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-workers N] [-retries N] [-v]
 //
-// API:
+// API (v1, the canonical surface):
 //
-//	POST /campaigns               submit a campaign, returns {"id": "c1", ...}
-//	GET  /campaigns/{id}          status, streamed progress events, report
-//	GET  /campaigns/{id}/trace    recorded timing traces: JSON index, ?job=N streams binary
-//	GET  /mappings/{fingerprint}  cached mapping by machine fingerprint
-//	GET  /traces/{fingerprint}    recorded timing trace by machine fingerprint
-//	GET  /healthz                 liveness + store statistics
+//	POST /v1/campaigns               submit a campaign, returns {"id": "c1", ...}
+//	GET  /v1/campaigns               paginated campaign index (?limit=20&offset=0)
+//	GET  /v1/campaigns/{id}          status, recorded progress events, report
+//	GET  /v1/campaigns/{id}/events   live progress as Server-Sent Events
+//	GET  /v1/campaigns/{id}/trace    recorded timing traces: JSON index, ?job=N streams binary
+//	GET  /v1/mappings/{fingerprint}  cached mapping by machine fingerprint
+//	GET  /v1/traces/{fingerprint}    recorded timing trace by machine fingerprint
+//	GET  /v1/healthz                 liveness + store statistics
+//
+// Errors share one envelope: {"error":{"code":"not_found","message":...}}.
+// The original unversioned routes still answer as deprecated aliases of
+// their /v1 successors (with Deprecation and Link headers).
 //
 // With -trace-dir set, every campaign job runs behind an internal/trace
 // recorder and its full timing channel persists content-addressed next
@@ -23,8 +29,9 @@
 //
 // Example:
 //
-//	curl -s localhost:8080/campaigns -d '{"machines":[-1],"seed":42}'
-//	curl -s localhost:8080/campaigns/c1
+//	curl -s localhost:8080/v1/campaigns -d '{"machines":[-1],"seed":42}'
+//	curl -sN localhost:8080/v1/campaigns/c1/events
+//	curl -s localhost:8080/v1/campaigns/c1
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight campaigns are
 // cancelled via context and drained before exit.

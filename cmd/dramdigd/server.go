@@ -1,6 +1,13 @@
 // The dramdigd HTTP surface: a handler struct wiring campaigns and the
-// result store behind a JSON API. Kept separate from main so tests can
-// drive it through httptest without sockets or signals.
+// result store behind a versioned JSON API. Kept separate from main so
+// tests can drive it through httptest without sockets or signals.
+//
+// The canonical surface lives under /v1 with a uniform error envelope
+// {"error":{"code":...,"message":...}}, campaign listing with
+// limit/offset pagination, and live progress streaming over SSE at
+// GET /v1/campaigns/{id}/events. The original unversioned routes remain
+// as thin deprecated aliases: same handlers, plus Deprecation and Link
+// (successor-version) headers.
 
 package main
 
@@ -12,6 +19,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"dramdig/internal/campaign"
 	"dramdig/internal/core"
@@ -61,6 +69,25 @@ type campaignState struct {
 	events []campaign.Event
 	report *campaign.Report
 	errMsg string
+	// changed is closed and replaced on every mutation — a broadcast
+	// the SSE event streams block on.
+	changed chan struct{}
+}
+
+func newCampaignState(id string, specs []campaign.Spec) *campaignState {
+	return &campaignState{
+		id:      id,
+		status:  "running",
+		total:   len(specs),
+		specs:   specs,
+		changed: make(chan struct{}),
+	}
+}
+
+// bumpLocked wakes every blocked event stream. Callers hold st.mu.
+func (st *campaignState) bumpLocked() {
+	close(st.changed)
+	st.changed = make(chan struct{})
 }
 
 func newServer(baseCtx context.Context, st *store.Store, workers, retries int, tracing bool, logf func(string, ...any)) *server {
@@ -78,13 +105,33 @@ func newServer(baseCtx context.Context, st *store.Store, workers, retries int, t
 		campaigns:   make(map[string]*campaignState),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /campaigns", s.handleCreateCampaign)
-	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGetCampaign)
-	s.mux.HandleFunc("GET /campaigns/{id}/trace", s.handleGetCampaignTrace)
-	s.mux.HandleFunc("GET /mappings/{fingerprint}", s.handleGetMapping)
-	s.mux.HandleFunc("GET /traces/{fingerprint}", s.handleGetTrace)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The canonical, versioned surface.
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleGetCampaignTrace)
+	s.mux.HandleFunc("GET /v1/mappings/{fingerprint}", s.handleGetMapping)
+	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleGetTrace)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Deprecated unversioned aliases of the /v1 routes.
+	s.mux.HandleFunc("POST /campaigns", deprecated(s.handleCreateCampaign))
+	s.mux.HandleFunc("GET /campaigns/{id}", deprecated(s.handleGetCampaign))
+	s.mux.HandleFunc("GET /campaigns/{id}/trace", deprecated(s.handleGetCampaignTrace))
+	s.mux.HandleFunc("GET /mappings/{fingerprint}", deprecated(s.handleGetMapping))
+	s.mux.HandleFunc("GET /traces/{fingerprint}", deprecated(s.handleGetTrace))
+	s.mux.HandleFunc("GET /healthz", deprecated(s.handleHealthz))
 	return s
+}
+
+// deprecated marks an unversioned alias: the handler answers as before,
+// with headers steering clients to the /v1 successor.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -234,7 +281,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	var req campaignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad request body: %v", err)
 		return
 	}
 	seed := req.Seed
@@ -243,21 +290,21 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	specList, err := s.buildSpecs(req, seed)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 
 	s.mu.Lock()
 	if s.running >= maxRunning {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable,
+		httpError(w, http.StatusServiceUnavailable, codeOverloaded,
 			"%d campaigns already running (limit %d); retry after one finishes", maxRunning, maxRunning)
 		return
 	}
 	s.running++
 	s.nextID++
 	id := fmt.Sprintf("c%d", s.nextID)
-	st := &campaignState{id: id, status: "running", total: len(specList), specs: specList}
+	st := newCampaignState(id, specList)
 	s.campaigns[id] = st
 	s.order = append(s.order, id)
 	s.evictLocked()
@@ -286,7 +333,6 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		s.running--
 		s.mu.Unlock()
 		st.mu.Lock()
-		defer st.mu.Unlock()
 		st.report = rep
 		if err != nil {
 			st.status = "failed"
@@ -294,17 +340,182 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		} else {
 			st.status = "done"
 		}
-		s.logf("campaign %s: %s (%d jobs)", id, st.status, len(specList))
+		st.bumpLocked()
+		status := st.status
+		st.mu.Unlock()
+		s.logf("campaign %s: %s (%d jobs)", id, status, len(specList))
 	}()
 
 	s.logf("campaign %s: accepted %d jobs", id, len(specList))
-	w.Header().Set("Location", "/campaigns/"+id)
+	w.Header().Set("Location", "/v1/campaigns/"+id)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     id,
 		"status": "running",
 		"jobs":   len(specList),
-		"url":    "/campaigns/" + id,
+		"url":    "/v1/campaigns/" + id,
+		"events": "/v1/campaigns/" + id + "/events",
 	})
+}
+
+// campaignSummary is one row of the paginated campaign listing.
+type campaignSummary struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	URL    string `json:"url"`
+}
+
+// listLimits bound GET /v1/campaigns pagination: limit must be in
+// [1, maxListLimit], offset must be >= 0.
+const (
+	defaultListLimit = 20
+	maxListLimit     = 100
+)
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%s %q is not an integer", key, raw)
+	}
+	return v, nil
+}
+
+// handleListCampaigns serves the paginated campaign index, newest
+// first. Bounds are part of the v1 contract: limit in [1, 100] (default
+// 20), offset >= 0; anything else is a bad_request.
+func (s *server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", defaultListLimit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	if limit < 1 || limit > maxListLimit {
+		httpError(w, http.StatusBadRequest, codeBadRequest,
+			"limit %d out of range [1, %d]", limit, maxListLimit)
+		return
+	}
+	if offset < 0 {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "offset %d is negative", offset)
+		return
+	}
+
+	s.mu.Lock()
+	states := make([]*campaignState, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- { // newest first
+		if st := s.campaigns[s.order[i]]; st != nil {
+			states = append(states, st)
+		}
+	}
+	s.mu.Unlock()
+
+	total := len(states)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	page := make([]campaignSummary, 0, end-offset)
+	for _, st := range states[offset:end] {
+		st.mu.Lock()
+		page = append(page, campaignSummary{
+			ID: st.id, Status: st.status, Total: st.total, Done: st.done,
+			URL: "/v1/campaigns/" + st.id,
+		})
+		st.mu.Unlock()
+	}
+	resp := map[string]any{
+		"campaigns": page,
+		"total":     total,
+		"limit":     limit,
+		"offset":    offset,
+	}
+	if end < total {
+		resp["next_offset"] = end
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCampaignEvents streams a campaign's progress as Server-Sent
+// Events: every recorded event is sent (event: <kind>, data: JSON),
+// then live events as they arrive, then a final "done" event carrying
+// the terminal status. The stream ends when the campaign finishes, the
+// client disconnects, or the daemon shuts down.
+func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "no campaign %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, codeInternal, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sent := 0
+	for {
+		st.mu.Lock()
+		pending := append([]campaign.Event(nil), st.events[sent:]...)
+		sent += len(pending)
+		status := st.status
+		done, total := st.done, st.total
+		errMsg := st.errMsg
+		changed := st.changed
+		st.mu.Unlock()
+
+		for _, ev := range pending {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+		}
+		if len(pending) > 0 {
+			fl.Flush()
+		}
+		if status != "running" {
+			final := map[string]any{"status": status, "done": done, "total": total}
+			if errMsg != "" {
+				final["err"] = errMsg
+			}
+			data, _ := json.Marshal(final)
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		case <-time.After(15 * time.Second):
+			// Heartbeat comment so idle streams survive proxies.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
 }
 
 // evictLocked drops the oldest finished campaigns once the retained
@@ -344,13 +555,14 @@ func (st *campaignState) onEvent(ev campaign.Event) {
 	if ev.Kind == campaign.EventJobFinished || ev.Kind == campaign.EventJobFailed {
 		st.done++
 	}
+	st.bumpLocked()
 }
 
 // storeWrap backs each campaign job with the content-addressed store:
 // concurrent jobs for one machine configuration run the pipeline once
 // (single-flight), and repeated campaigns hit the cache.
 func (s *server) storeWrap(spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
-	fp := spec.Def.Fingerprint()
+	fp := spec.MachineFingerprint()
 	var direct *campaign.Outcome
 	rec, err := s.st.GetOrCompute(fp, func() (*store.Record, error) {
 		out := run()
@@ -392,7 +604,7 @@ func (s *server) storeWrap(spec campaign.Spec, run func() campaign.Outcome) camp
 // result caches under. Retried attempts overwrite atomically, so the
 // stored trace is always the last attempt's complete recording.
 func (s *server) traceSink(spec campaign.Spec, index, attempt int) (io.WriteCloser, error) {
-	return s.st.TraceWriter(spec.Def.Fingerprint())
+	return s.st.TraceWriter(spec.MachineFingerprint())
 }
 
 // campaignTraceJSON is one row of the campaign trace index.
@@ -414,7 +626,7 @@ func (s *server) handleGetCampaignTrace(w http.ResponseWriter, r *http.Request) 
 	st, ok := s.campaigns[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		httpError(w, http.StatusNotFound, codeNotFound, "no campaign %q", id)
 		return
 	}
 	st.mu.Lock()
@@ -424,16 +636,16 @@ func (s *server) handleGetCampaignTrace(w http.ResponseWriter, r *http.Request) 
 	if jobStr := r.URL.Query().Get("job"); jobStr != "" {
 		job, err := strconv.Atoi(jobStr)
 		if err != nil || job < 0 || job >= len(specs) {
-			httpError(w, http.StatusBadRequest, "job %q out of range [0, %d)", jobStr, len(specs))
+			httpError(w, http.StatusBadRequest, codeBadRequest, "job %q out of range [0, %d)", jobStr, len(specs))
 			return
 		}
-		s.serveTrace(w, specs[job].Def.Fingerprint())
+		s.serveTrace(w, specs[job].MachineFingerprint())
 		return
 	}
 
 	index := make([]campaignTraceJSON, 0, len(specs))
 	for i, spec := range specs {
-		fp := spec.Def.Fingerprint()
+		fp := spec.MachineFingerprint()
 		row := campaignTraceJSON{Job: i, Name: spec.Name, MachineFingerprint: fp}
 		if n, ok := s.st.StatTrace(fp); ok {
 			row.Available = true
@@ -454,7 +666,7 @@ func (s *server) handleGetCampaignTrace(w http.ResponseWriter, r *http.Request) 
 func (s *server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
 	if !store.ValidFingerprint(fp) {
-		httpError(w, http.StatusBadRequest, "malformed fingerprint %q", fp)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "malformed fingerprint %q", fp)
 		return
 	}
 	s.serveTrace(w, fp)
@@ -463,11 +675,11 @@ func (s *server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) serveTrace(w http.ResponseWriter, fp string) {
 	data, ok, err := s.st.GetTrace(fp)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, "no trace for %s (is the daemon running with -trace-dir?)", fp)
+		httpError(w, http.StatusNotFound, codeNotFound, "no trace for %s (is the daemon running with -trace-dir?)", fp)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -548,7 +760,7 @@ func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.campaigns[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no campaign %q", id)
+		httpError(w, http.StatusNotFound, codeNotFound, "no campaign %q", id)
 		return
 	}
 	st.mu.Lock()
@@ -572,16 +784,16 @@ func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
 	if !store.ValidFingerprint(fp) {
-		httpError(w, http.StatusBadRequest, "malformed fingerprint %q", fp)
+		httpError(w, http.StatusBadRequest, codeBadRequest, "malformed fingerprint %q", fp)
 		return
 	}
 	rec, ok, err := s.st.Get(fp)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, "no mapping for %s", fp)
+		httpError(w, http.StatusNotFound, codeNotFound, "no mapping for %s", fp)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -606,6 +818,29 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// v1 error codes. Every error response — on /v1 and the deprecated
+// aliases alike — carries the uniform envelope
+// {"error":{"code":<code>,"message":<human text>}}.
+const (
+	codeBadRequest = "bad_request"
+	codeNotFound   = "not_found"
+	codeOverloaded = "overloaded"
+	codeInternal   = "internal"
+)
+
+// errorEnvelope is the uniform v1 error shape.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }

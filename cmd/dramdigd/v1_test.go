@@ -1,0 +1,379 @@
+// Contract tests for the versioned daemon surface. Everything here is
+// named TestV1* so CI can run the v1 contract in isolation
+// (go test ./cmd/dramdigd -run TestV1): every /v1 route, the uniform
+// error envelope, the pagination bounds, the deprecated unversioned
+// aliases and one live SSE progress stream.
+
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dramdig/internal/campaign"
+)
+
+// stubRunner makes every campaign finish instantly with per-job events.
+func stubRunner(t *testing.T, srv *server) {
+	t.Helper()
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		for i, s := range specs {
+			cfg.OnEvent(campaign.Event{Kind: campaign.EventJobStarted, Job: s.Name, Index: i})
+			cfg.OnEvent(campaign.Event{Kind: campaign.EventJobFinished, Job: s.Name, Index: i, Match: true})
+		}
+		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+	}
+}
+
+// envelope decodes and validates the uniform v1 error envelope.
+func envelope(t *testing.T, body map[string]any, wantCode string) {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("error envelope missing or malformed: %v", body)
+	}
+	if got, _ := e["code"].(string); got != wantCode {
+		t.Errorf("error code %q, want %q (%v)", got, wantCode, body)
+	}
+	if msg, _ := e["message"].(string); msg == "" {
+		t.Errorf("error message empty: %v", body)
+	}
+}
+
+// TestV1Routes table-drives every /v1 route's happy and error paths
+// against a stubbed runner, asserting status codes and — for errors —
+// the envelope contract.
+func TestV1Routes(t *testing.T) {
+	srv := newTestServer(t)
+	stubRunner(t, srv)
+
+	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1,2]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/campaigns: %d %v", code, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatalf("no id in %v", m)
+	}
+	if u, _ := m["url"].(string); !strings.HasPrefix(u, "/v1/campaigns/") {
+		t.Errorf("create url %q is not versioned", u)
+	}
+	if ev, _ := m["events"].(string); ev != "/v1/campaigns/"+id+"/events" {
+		t.Errorf("events url %q", ev)
+	}
+	waitDone(t, srv, id)
+
+	for _, tc := range []struct {
+		method, path string
+		want         int
+		errCode      string // non-empty: assert the envelope
+	}{
+		{"GET", "/v1/campaigns", http.StatusOK, ""},
+		{"GET", "/v1/campaigns/" + id, http.StatusOK, ""},
+		{"GET", "/v1/campaigns/" + id + "/trace", http.StatusOK, ""},
+		{"GET", "/v1/healthz", http.StatusOK, ""},
+		{"GET", "/v1/campaigns/c999", http.StatusNotFound, "not_found"},
+		{"GET", "/v1/campaigns/c999/events", http.StatusNotFound, "not_found"},
+		{"GET", "/v1/campaigns/c999/trace", http.StatusNotFound, "not_found"},
+		{"GET", "/v1/mappings/zz", http.StatusBadRequest, "bad_request"},
+		{"GET", "/v1/mappings/" + strings.Repeat("a", 64), http.StatusNotFound, "not_found"},
+		{"GET", "/v1/traces/zz", http.StatusBadRequest, "bad_request"},
+		{"GET", "/v1/traces/" + strings.Repeat("a", 64), http.StatusNotFound, "not_found"},
+		{"POST", "/v1/campaigns", http.StatusBadRequest, "bad_request"},
+	} {
+		body := ""
+		if tc.method == "POST" {
+			body = "{}"
+		}
+		code, m := doJSON(t, srv, tc.method, tc.path, body)
+		if code != tc.want {
+			t.Errorf("%s %s: %d (want %d): %v", tc.method, tc.path, code, tc.want, m)
+			continue
+		}
+		if tc.errCode != "" {
+			envelope(t, m, tc.errCode)
+		}
+	}
+}
+
+// TestV1ErrorEnvelope covers the remaining error classes: malformed
+// bodies, job-count bombs and the overload rejection, each in the
+// uniform envelope.
+func TestV1ErrorEnvelope(t *testing.T) {
+	srv := newTestServer(t)
+	release := make(chan struct{})
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		<-release
+		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+	}
+	defer close(release)
+
+	for _, tc := range []struct {
+		body string
+		want string
+	}{
+		{"{not json", "bad_request"},
+		{`{"machines":[12]}`, "bad_request"},
+		{`{"generated":100000000}`, "bad_request"},
+		{`{"custom":[{"standard":"DDR9"}]}`, "bad_request"},
+	} {
+		code, m := doJSON(t, srv, "POST", "/v1/campaigns", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %q: %d, want 400", tc.body, code)
+			continue
+		}
+		envelope(t, m, tc.want)
+	}
+
+	// Fill the running slots, then assert the overload envelope.
+	for i := 0; i < maxRunning; i++ {
+		if code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
+			t.Fatalf("POST %d: %d %v", i, code, m)
+		}
+	}
+	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap POST: %d %v", code, m)
+	}
+	envelope(t, m, "overloaded")
+}
+
+// TestV1Pagination: the campaign index pages newest-first with
+// documented bounds — limit in [1,100] (default 20), offset >= 0.
+func TestV1Pagination(t *testing.T) {
+	srv := newTestServer(t)
+	stubRunner(t, srv)
+	const n = 25
+	var ids []string
+	for i := 0; i < n; i++ {
+		code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST %d: %d %v", i, code, m)
+		}
+		ids = append(ids, m["id"].(string))
+		waitDone(t, srv, m["id"].(string))
+	}
+
+	// Default page: 20 newest, total 25, next_offset 20.
+	code, m := doJSON(t, srv, "GET", "/v1/campaigns", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/campaigns: %d %v", code, m)
+	}
+	page := m["campaigns"].([]any)
+	if len(page) != defaultListLimit {
+		t.Fatalf("default page has %d entries, want %d", len(page), defaultListLimit)
+	}
+	if m["total"].(float64) != n {
+		t.Errorf("total %v, want %d", m["total"], n)
+	}
+	if m["next_offset"].(float64) != defaultListLimit {
+		t.Errorf("next_offset %v, want %d", m["next_offset"], defaultListLimit)
+	}
+	first := page[0].(map[string]any)
+	if first["id"] != ids[n-1] {
+		t.Errorf("first listed campaign %v, want newest %s", first["id"], ids[n-1])
+	}
+	if first["status"] != "done" || first["url"] != "/v1/campaigns/"+ids[n-1] {
+		t.Errorf("summary row: %v", first)
+	}
+
+	// Second page ends the listing without a next_offset.
+	code, m = doJSON(t, srv, "GET", "/v1/campaigns?limit=20&offset=20", "")
+	if code != http.StatusOK || len(m["campaigns"].([]any)) != n-defaultListLimit {
+		t.Fatalf("second page: %d %v", code, m)
+	}
+	if _, present := m["next_offset"]; present {
+		t.Error("final page advertises next_offset")
+	}
+
+	// Offset past the end is an empty page, not an error.
+	code, m = doJSON(t, srv, "GET", "/v1/campaigns?offset=1000", "")
+	if code != http.StatusOK || len(m["campaigns"].([]any)) != 0 {
+		t.Fatalf("past-the-end page: %d %v", code, m)
+	}
+
+	// Bounds violations are bad_request in the envelope.
+	for _, q := range []string{"limit=0", "limit=-3", "limit=101", "limit=abc", "offset=-1", "offset=x"} {
+		code, m := doJSON(t, srv, "GET", "/v1/campaigns?"+q, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("GET ?%s: %d, want 400 (%v)", q, code, m)
+			continue
+		}
+		envelope(t, m, "bad_request")
+	}
+}
+
+// TestV1DeprecatedAliases: every unversioned route still answers,
+// carries Deprecation and successor-version Link headers, and uses the
+// same error envelope.
+func TestV1DeprecatedAliases(t *testing.T) {
+	srv := newTestServer(t)
+	stubRunner(t, srv)
+	code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /campaigns: %d %v", code, m)
+	}
+	id := m["id"].(string)
+	waitDone(t, srv, id)
+
+	for _, path := range []string{"/campaigns/" + id, "/campaigns/" + id + "/trace", "/healthz"} {
+		r := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			t.Errorf("GET %s: %d", path, w.Code)
+		}
+		if w.Header().Get("Deprecation") != "true" {
+			t.Errorf("GET %s: no Deprecation header", path)
+		}
+		if link := w.Header().Get("Link"); !strings.Contains(link, "</v1"+path+">") {
+			t.Errorf("GET %s: Link %q lacks the /v1 successor", path, link)
+		}
+	}
+
+	// The alias shares the envelope contract.
+	code, m = doJSON(t, srv, "GET", "/campaigns/c999", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /campaigns/c999: %d", code)
+	}
+	envelope(t, m, "not_found")
+}
+
+// TestV1Events consumes one SSE progress stream end to end: recorded
+// events arrive first, live events as they happen, then the terminal
+// "done" event closes the stream.
+func TestV1Events(t *testing.T) {
+	srv := newTestServer(t)
+	step := make(chan struct{})
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		cfg.OnEvent(campaign.Event{Kind: campaign.EventJobStarted, Job: "No.1", Index: 0})
+		<-step // hold the campaign open until the stream is attached
+		cfg.OnEvent(campaign.Event{Kind: campaign.EventJobFinished, Job: "No.1", Index: 0, Match: true})
+		return &campaign.Report{Total: 1, Succeeded: 1}, nil
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", code, m)
+	}
+	id := m["id"].(string)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/campaigns/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	type sseEvent struct {
+		name string
+		data map[string]any
+	}
+	events := make(chan sseEvent, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var name string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				var data map[string]any
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &data); err != nil {
+					events <- sseEvent{name: "decode-error", data: map[string]any{"err": err.Error()}}
+					return
+				}
+				events <- sseEvent{name: name, data: data}
+			}
+		}
+	}()
+
+	next := func(want string) sseEvent {
+		t.Helper()
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed while waiting for %q", want)
+			}
+			if ev.name != want {
+				t.Fatalf("event %q (%v), want %q", ev.name, ev.data, want)
+			}
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no %q event within 10s", want)
+		}
+		panic("unreachable")
+	}
+
+	started := next(string(campaign.EventJobStarted))
+	if started.data["job"] != "No.1" {
+		t.Errorf("started event: %v", started.data)
+	}
+	close(step) // release the campaign: finish event + done must stream live
+	next(string(campaign.EventJobFinished))
+	done := next("done")
+	if done.data["status"] != "done" || done.data["done"].(float64) != 1 {
+		t.Errorf("done event: %v", done.data)
+	}
+	if _, ok := <-events; ok {
+		t.Error("stream did not close after the done event")
+	}
+}
+
+// TestV1EventsAfterCompletion: attaching to a finished campaign replays
+// the recorded events and terminates immediately.
+func TestV1EventsAfterCompletion(t *testing.T) {
+	srv := newTestServer(t)
+	stubRunner(t, srv)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1,2]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", code, m)
+	}
+	id := m["id"].(string)
+	waitDone(t, srv, id)
+
+	resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/campaigns/%s/events", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var names []string
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: ") {
+			names = append(names, strings.TrimPrefix(sc.Text(), "event: "))
+		}
+	}
+	want := []string{"job_started", "job_finished", "job_started", "job_finished", "done"}
+	if len(names) != len(want) {
+		t.Fatalf("events %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("events %v, want %v", names, want)
+		}
+	}
+}

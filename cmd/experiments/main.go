@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"dramdig/internal/eval"
 )
@@ -29,7 +32,12 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := eval.Options{Seed: *seed}
+	// ^C aborts the sweep mid-measurement: the context threads through
+	// every pipeline, baseline and hammer session eval starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := eval.Options{Seed: *seed, Ctx: ctx}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
@@ -123,18 +131,21 @@ func main() {
 		fmt.Printf("markdown report written to %s\n", *mdPath)
 	}
 	if want["ablate"] {
-		eval.RenderAblation(os.Stdout, "Ablation: Algorithm 2 pile tolerance (No.2)",
+		// The sweeps score a cancelled run as a failure, so a cancelled
+		// sweep must abort before its partial rows render as results.
+		renderAblation := func(title string, rows []eval.AblationRow) {
+			check(ctx.Err())
+			eval.RenderAblation(os.Stdout, title, rows)
+			fmt.Println()
+		}
+		renderAblation("Ablation: Algorithm 2 pile tolerance (No.2)",
 			eval.AblateDelta(opts, []float64{0.05, 0.1, 0.2, 0.4}, 3))
-		fmt.Println()
-		eval.RenderAblation(os.Stdout, "Ablation: partition measurement rounds (No.2)",
+		renderAblation("Ablation: partition measurement rounds (No.2)",
 			eval.AblateRounds(opts, []int{150, 600, 2400}, 3))
-		fmt.Println()
-		eval.RenderAblation(os.Stdout, "Ablation: minimum selection size (No.1)",
+		renderAblation("Ablation: minimum selection size (No.1)",
 			eval.AblatePoolSize(opts, []int{4096, 8192, 16384}, 3))
-		fmt.Println()
-		eval.RenderAblation(os.Stdout, "Ablation: sentinel drift guard (No.3, enlarged pool)",
+		renderAblation("Ablation: sentinel drift guard (No.3, enlarged pool)",
 			eval.AblateDriftGuard(opts, 4))
-		fmt.Println()
 	}
 }
 

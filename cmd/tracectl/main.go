@@ -18,15 +18,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"dramdig/internal/core"
-	"dramdig/internal/machine"
+	"dramdig"
 	"dramdig/internal/trace"
 )
+
+// runCtx cancels on ^C / SIGTERM so record and replay abort
+// mid-measurement instead of finishing the pipeline.
+func runCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -101,7 +109,7 @@ func cmdRecord(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("record: -o FILE is required")
 	}
-	m, err := machine.NewByNo(*machineNo, *seed)
+	m, err := dramdig.NewMachine(*machineNo, *seed)
 	if err != nil {
 		return err
 	}
@@ -109,35 +117,28 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := trace.NewWriter(f, trace.HeaderFor(m, "dramdig", *toolSeed))
-	if err != nil {
-		f.Close()
-		return err
-	}
-	rec := trace.NewRecorder(m, w)
-	tool, err := core.New(rec, core.Config{Seed: *toolSeed, Logf: logfFlag(*verbose)})
-	if err != nil {
-		rec.Close()
-		return err
-	}
+	ctx, stop := runCtx()
+	defer stop()
 	start := time.Now()
-	res, runErr := tool.Run()
-	if err := rec.Close(); err != nil {
+	// The engine closes f through the trace sink when the run finishes.
+	res, err := dramdig.Run(ctx, dramdig.LiveSource(m),
+		dramdig.WithSeed(*toolSeed), dramdig.WithLogf(logfFlag(*verbose)),
+		dramdig.WithTraceSink(f))
+	if err != nil {
 		return fmt.Errorf("record: %w", err)
-	}
-	if runErr != nil {
-		return fmt.Errorf("record: pipeline failed (trace kept): %w", runErr)
 	}
 	var size int64
 	if fi, err := os.Stat(*out); err == nil {
 		size = fi.Size()
 	}
+	// Every raw measurement flows through the recorder, so the sample
+	// count is exactly the run's measurement count.
 	fmt.Printf("machine:       %s (seed %d)\n", m.Name(), *seed)
 	fmt.Printf("mapping:       %s\n", res.Mapping)
 	fmt.Printf("fingerprint:   %s\n", res.Mapping.Fingerprint())
 	fmt.Printf("cost:          %.1f simulated s, %d measurements\n", res.TotalSimSeconds, res.Measurements)
 	fmt.Printf("trace:         %s (%d samples, %d bytes, %.2fs wall)\n",
-		*out, rec.Samples(), size, time.Since(start).Seconds())
+		*out, res.Measurements, size, time.Since(start).Seconds())
 	return nil
 }
 
@@ -277,28 +278,24 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	// -tool-seed is applied only when the flag was actually set, so an
+	// explicit 0 is honored — the engine's WithSeed(0) makes a genuine
+	// zero representable; absent the flag, the recorded seed applies.
 	seed := t.Header.ToolSeed
+	opts := []dramdig.EngineOption{dramdig.WithLogf(logfFlag(*verbose))}
 	if seedSet {
 		seed = *toolSeed
+		opts = append(opts, dramdig.WithSeed(*toolSeed))
 	}
-	rep, err := trace.NewReplayer(t, mode)
-	if err != nil {
-		return err
-	}
-	tool, err := core.New(rep, core.Config{Seed: seed, Logf: logfFlag(*verbose)})
-	if err != nil {
-		return err
-	}
+	ctx, stop := runCtx()
+	defer stop()
 	start := time.Now()
-	res, runErr := tool.Run()
+	res, err := dramdig.Run(ctx, dramdig.TraceSource(t, mode), opts...)
 	fmt.Printf("trace:         %s (%d samples, machine %s)\n", path, len(t.Samples), t.Header.Machine.Name)
-	fmt.Printf("replay:        %s mode, tool seed %d, %d calls served (%d reused), %.2fs wall\n",
-		mode, seed, rep.Calls(), rep.Reused(), time.Since(start).Seconds())
-	if derr := rep.Err(); derr != nil {
-		return fmt.Errorf("replay diverged from the recording: %w", derr)
-	}
-	if runErr != nil {
-		return fmt.Errorf("replay: pipeline failed: %w", runErr)
+	fmt.Printf("replay:        %s mode, tool seed %d, %.2fs wall\n",
+		mode, seed, time.Since(start).Seconds())
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
 	}
 	fmt.Printf("mapping:       %s\n", res.Mapping)
 	fmt.Printf("fingerprint:   %s\n", res.Mapping.Fingerprint())

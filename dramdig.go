@@ -11,13 +11,31 @@
 // # Quick start
 //
 //	m, _ := dramdig.NewMachine(1, 42)       // the paper's setting No.1
-//	res, _ := dramdig.ReverseEngineer(m, dramdig.Options{})
+//	res, _ := dramdig.Run(ctx, dramdig.LiveSource(m))
 //	fmt.Println(res.Mapping)                // bank funcs, row bits, col bits
 //
 // # Architecture
 //
-// The facade re-exports the stable surface of the internal packages:
+// The public API is built around two concepts:
 //
+//   - a Source — anything that yields timing measurements plus machine
+//     identity: a live simulated machine (LiveSource), a recorded trace
+//     replayed fully offline (TraceSource), or a perturbed recording
+//     (PerturbedSource);
+//   - an Engine — one Run(ctx, src, ...EngineOption) call executing the
+//     DRAMDig pipeline against any source, tuned by functional options
+//     (WithSeed, WithLogger, WithTraceSink, WithProgress, WithConfig).
+//
+// The context is threaded through every measurement loop, so
+// cancellation and deadlines abort runs promptly; the same holds for
+// campaigns (RunCampaign) and the rowhammer driver. The historical
+// entry points ReverseEngineer, RecordTrace and ReplayTrace remain as
+// thin wrappers over the Engine — see MIGRATION.md.
+//
+// Underneath, the facade re-exports the stable surface of the internal
+// packages:
+//
+//   - internal/source, internal/engine — the Source/Engine pair above;
 //   - internal/machine — nine simulated machine settings (Table II ground
 //     truth) plus custom machine construction;
 //   - internal/core — the DRAMDig pipeline (coarse detection, Algorithms
@@ -28,21 +46,22 @@
 //   - internal/drama, internal/xiao, internal/seaborn — baselines;
 //   - internal/eval — regeneration of every table and figure;
 //   - internal/campaign — concurrent multi-machine campaigns: a worker
-//     pool fanning reverse-engineering jobs across GOMAXPROCS with
-//     retries, progress events and aggregated reports;
+//     pool fanning jobs across GOMAXPROCS with retries, progress events
+//     and aggregated reports; jobs run over any Source, so campaigns
+//     replay recorded traces as readily as live machines;
 //   - internal/store — a content-addressed result cache (in-memory LRU,
 //     optional JSON persistence, single-flight deduplication) keyed by
 //     machine fingerprints, with a trace tier alongside;
 //   - internal/trace — timing-channel capture and offline replay: record
 //     any run's MeasurePair stream, replay it bit-identically with zero
 //     simulation, or perturb it through composable noise models;
-//   - cmd/dramdigd — the HTTP daemon serving campaigns, cached mappings
-//     and recorded traces as a JSON API.
+//   - cmd/dramdigd — the HTTP daemon serving the versioned /v1 JSON API:
+//     campaigns with SSE progress streaming, pagination, cached mappings
+//     and recorded traces.
 package dramdig
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"dramdig/internal/campaign"
@@ -73,16 +92,40 @@ type Result = core.Result
 // Flip is an induced rowhammer bit flip (re-exported).
 type Flip = dram.Flip
 
-// Options tunes a facade ReverseEngineer call.
+// Options tunes the legacy ReverseEngineer/RecordTrace/ReplayTrace
+// wrappers. New code should pass EngineOptions to Engine.Run (or the
+// package-level Run) instead: functional options can express an
+// explicit zero seed, which this struct cannot.
 type Options struct {
 	// Seed drives the tool's internal randomness; the recovered mapping
-	// does not depend on it (DRAMDig is deterministic).
+	// does not depend on it (DRAMDig is deterministic). A zero Seed
+	// means "unset" here — in ReplayTrace it selects the trace's
+	// recorded seed. Use WithSeed(0) with Engine.Run for a genuine
+	// zero.
 	Seed int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 	// Config overrides the full tool configuration when non-nil;
 	// Seed/Log above are ignored in that case.
 	Config *core.Config
+}
+
+// engineOptions converts legacy Options to the engine's functional
+// options, preserving the historical semantics: a zero Seed stays unset
+// (so trace sources fall back to their recorded seed), and a non-nil
+// Config wins wholesale.
+func (o Options) engineOptions() []EngineOption {
+	if o.Config != nil {
+		return []EngineOption{WithConfig(*o.Config)}
+	}
+	var opts []EngineOption
+	if o.Seed != 0 {
+		opts = append(opts, WithSeed(o.Seed))
+	}
+	if o.Log != nil {
+		opts = append(opts, WithLogger(o.Log))
+	}
+	return opts
 }
 
 // NewMachine builds one of the paper's nine machine settings (no = 1…9).
@@ -102,13 +145,10 @@ func NewCustomMachine(def MachineDefinition, seed int64) (*Machine, error) {
 func Settings() []MachineDefinition { return machine.Settings() }
 
 // ReverseEngineer runs DRAMDig against the machine and returns the
-// recovered mapping with run statistics.
+// recovered mapping with run statistics. It is a thin wrapper over
+// Engine.Run with a LiveSource and a background context.
 func ReverseEngineer(m *Machine, opts Options) (*Result, error) {
-	tool, err := core.New(m, facadeConfig(opts))
-	if err != nil {
-		return nil, err
-	}
-	return tool.Run()
+	return Run(context.Background(), LiveSource(m), opts.engineOptions()...)
 }
 
 // HammerConfig tunes a rowhammer assessment (re-exported).
@@ -129,13 +169,21 @@ const (
 type HammerResult = rowhammer.Result
 
 // Hammer runs one double-sided rowhammer session against the machine
-// using the given mapping (typically a ReverseEngineer result).
+// using the given mapping (typically an Engine.Run result). It is
+// HammerContext with a background context.
 func Hammer(m *Machine, mp *Mapping, cfg HammerConfig) (HammerResult, error) {
+	return HammerContext(context.Background(), m, mp, cfg)
+}
+
+// HammerContext is Hammer under a context: the hammer loop polls it per
+// victim, so cancellation returns promptly with the flips induced so
+// far and the context's error.
+func HammerContext(ctx context.Context, m *Machine, mp *Mapping, cfg HammerConfig) (HammerResult, error) {
 	sess, err := rowhammer.NewSession(m, rowhammer.FromMapping(mp), cfg)
 	if err != nil {
 		return HammerResult{}, err
 	}
-	return sess.Run(), nil
+	return sess.RunContext(ctx)
 }
 
 // CampaignSpec is one campaign job (re-exported).
@@ -191,24 +239,11 @@ const (
 // RecordTrace runs DRAMDig against the machine while capturing its whole
 // timing channel into w as an internal/trace binary stream. The returned
 // result is the live run's; decode the bytes with DecodeTrace and replay
-// them offline with ReplayTrace.
+// them offline with ReplayTrace. It is a thin wrapper over Engine.Run
+// with a LiveSource and WithTraceSink.
 func RecordTrace(m *Machine, w io.Writer, opts Options) (*Result, error) {
-	cfg := facadeConfig(opts)
-	tw, err := trace.NewWriter(w, trace.HeaderFor(m, "dramdig", cfg.Seed))
-	if err != nil {
-		return nil, err
-	}
-	rec := trace.NewRecorder(m, tw)
-	tool, err := core.New(rec, cfg)
-	if err != nil {
-		rec.Close()
-		return nil, err
-	}
-	res, runErr := tool.Run()
-	if cerr := rec.Close(); cerr != nil && runErr == nil {
-		return nil, cerr
-	}
-	return res, runErr
+	return Run(context.Background(), LiveSource(m),
+		append(opts.engineOptions(), WithTraceSink(w))...)
 }
 
 // DecodeTrace reads a recorded trace.
@@ -218,24 +253,15 @@ func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
 // machine's surface rebuilds from the trace header and every latency is
 // served from the recording — zero simulation. With the recorded tool
 // seed (the default) and ReplayStrict, the run is bit-identical to the
-// recorded one.
+// recorded one. It is a thin wrapper over Engine.Run with a
+// TraceSource.
+//
+// Historical quirk, kept for compatibility: Options.Seed == 0 with a
+// nil Options.Config means "use the recorded seed" — a genuine zero
+// seed is inexpressible here. Engine.Run with WithSeed(0) replays under
+// an explicit zero.
 func ReplayTrace(t *Trace, mode trace.Mode, opts Options) (*Result, error) {
-	rep, err := trace.NewReplayer(t, mode)
-	if err != nil {
-		return nil, err
-	}
-	if opts.Seed == 0 && opts.Config == nil {
-		opts.Seed = t.Header.ToolSeed
-	}
-	tool, err := core.New(rep, facadeConfig(opts))
-	if err != nil {
-		return nil, err
-	}
-	res, runErr := tool.Run()
-	if derr := rep.Err(); derr != nil {
-		return nil, derr
-	}
-	return res, runErr
+	return Run(context.Background(), TraceSource(t, mode), opts.engineOptions()...)
 }
 
 // TraceNoise is a composable trace noise model (re-exported).
@@ -257,21 +283,6 @@ func PerturbTrace(t *Trace, seed int64, models ...TraceNoise) *Trace {
 	return trace.Perturb(t, seed, models...)
 }
 
-// facadeConfig assembles a tool config from facade options, shared by
-// ReverseEngineer, RecordTrace and ReplayTrace.
-func facadeConfig(opts Options) core.Config {
-	cfg := core.Config{Seed: opts.Seed}
-	if opts.Config != nil {
-		cfg = *opts.Config
-	} else if opts.Log != nil {
-		log := opts.Log
-		cfg.Logf = func(format string, args ...any) {
-			io.WriteString(log, sprintfLine(format, args...))
-		}
-	}
-	return cfg
-}
-
 // ExperimentOptions configures experiment regeneration (re-exported).
 type ExperimentOptions = eval.Options
 
@@ -287,12 +298,4 @@ var Experiments = struct {
 	Table2:  eval.Table2,
 	Figure2: eval.Figure2,
 	Table3:  eval.Table3,
-}
-
-func sprintfLine(format string, args ...any) string {
-	s := fmt.Sprintf(format, args...)
-	if len(s) == 0 || s[len(s)-1] != '\n' {
-		s += "\n"
-	}
-	return s
 }

@@ -3,6 +3,7 @@ package dramdig
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -91,5 +92,81 @@ func TestFacadeCampaign(t *testing.T) {
 	rep.RenderTable(&buf)
 	if !strings.Contains(buf.String(), "No.2") {
 		t.Errorf("report table missing a job:\n%s", buf.String())
+	}
+}
+
+// TestFacadeEngineSource drives the redesigned public surface: one
+// Engine.Run over a live source with a trace sink, the trace replayed
+// through TraceSource (recorded seed by default), a perturbed replay,
+// and the legacy ReplayTrace shim's Seed==0 behaviour.
+func TestFacadeEngineSource(t *testing.T) {
+	m, err := NewMachine(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var steps []string
+	eng := NewEngine(WithSeed(11))
+	res, err := eng.Run(context.Background(), LiveSource(m),
+		WithTraceSink(&buf),
+		WithProgress(func(step string, _ StepStats) { steps = append(steps, step) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.EquivalentTo(m.Truth()) {
+		t.Fatalf("recovered %s, want %s", res.Mapping, m.Truth())
+	}
+	if len(steps) != 5 {
+		t.Errorf("progress steps %v", steps)
+	}
+
+	tr, err := DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.ToolSeed != 11 {
+		t.Fatalf("trace header seed %d, want 11", tr.Header.ToolSeed)
+	}
+
+	// Engine replay: the recorded seed applies when WithSeed is absent.
+	rep, err := Run(context.Background(), TraceSource(tr, ReplayStrict))
+	if err != nil {
+		t.Fatalf("strict engine replay: %v", err)
+	}
+	if rep.Mapping.Fingerprint() != res.Mapping.Fingerprint() {
+		t.Fatal("strict replay recovered a different mapping")
+	}
+
+	// Legacy shim: ReplayTrace with Seed==0 keeps the recorded seed.
+	rep2, err := ReplayTrace(tr, ReplayStrict, Options{})
+	if err != nil {
+		t.Fatalf("legacy replay shim: %v", err)
+	}
+	if rep2.Mapping.Fingerprint() != res.Mapping.Fingerprint() {
+		t.Fatal("legacy replay recovered a different mapping")
+	}
+
+	// Perturbed replay under mild jitter still recovers the mapping.
+	noisy, err := Run(context.Background(), PerturbedSource(tr, ReplayKeyed, 3, TraceJitter{SigmaNs: 1}))
+	if err != nil {
+		t.Fatalf("perturbed replay: %v", err)
+	}
+	if noisy.Mapping == nil {
+		t.Fatal("perturbed replay produced no mapping")
+	}
+}
+
+// TestFacadeRunCancel: the public Run returns the context error when
+// cancelled before the pipeline starts.
+func TestFacadeRunCancel(t *testing.T) {
+	m, err := NewMachine(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, LiveSource(m)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

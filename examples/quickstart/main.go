@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,9 +21,10 @@ func main() {
 	}
 	fmt.Println(m.SysInfo().Report())
 
-	// Run DRAMDig: calibration, coarse detection, Algorithms 1-3,
-	// fine-grained shared-bit detection.
-	res, err := dramdig.ReverseEngineer(m, dramdig.Options{Seed: 7})
+	// Run DRAMDig through the Engine over a live source: calibration,
+	// coarse detection, Algorithms 1-3, fine-grained shared-bit
+	// detection. Cancelling the context would abort mid-measurement.
+	res, err := dramdig.Run(context.Background(), dramdig.LiveSource(m), dramdig.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,11 @@
 // outcomes into a campaign report (success rate, timing statistics,
 // mapping equivalence classes).
 //
+// Jobs run over source.Source: the default source is a live simulated
+// machine built from the spec's definition, but any source works —
+// TraceSpec builds offline jobs that replay recorded traces with zero
+// simulation, so one campaign can mix live and recorded machines.
+//
 // The engine is the concurrency layer the dramdigd daemon builds on; it
 // deliberately knows nothing about HTTP or persistence. Per-job execution
 // can be wrapped (Config.Wrap) so a caller may interpose a result cache —
@@ -27,16 +32,19 @@ import (
 
 	"dramdig/internal/core"
 	"dramdig/internal/machine"
-	"dramdig/internal/timing"
+	"dramdig/internal/source"
 	"dramdig/internal/trace"
 )
 
-// Spec is one campaign job: a machine to build and reverse-engineer.
+// Spec is one campaign job: a measurement source to run the pipeline
+// against. The default source is a live machine built from Def/Seed;
+// Source overrides it, letting campaigns run equally over recorded
+// traces (offline campaigns) or any custom source.Source.
 type Spec struct {
 	// Name labels the job in events and the report; defaults to the
 	// definition's name.
 	Name string
-	// Def declares the machine.
+	// Def declares the machine for the default live source.
 	Def machine.Definition
 	// Seed is the machine seed (allocation layout, noise stream); retry
 	// attempts perturb it deterministically.
@@ -45,6 +53,51 @@ type Spec struct {
 	// job. The engine still controls the tool seed — it derives one per
 	// (job, attempt) so concurrent jobs never share randomness.
 	Tool *core.Config
+	// Source, when non-nil, supplies the job's measurement source per
+	// attempt instead of the Def/Seed live machine. Sources that
+	// suggest a tool seed (trace replays) pin it — a derived seed would
+	// make strict replays diverge.
+	Source func(attempt int) (source.Source, error)
+	// FP overrides the machine-identity fingerprint reported for
+	// source-based jobs (live jobs fingerprint their definition).
+	FP string
+}
+
+// MachineFingerprint content-addresses the job's machine identity: FP
+// when set (source-based specs), the definition's fingerprint otherwise.
+func (s Spec) MachineFingerprint() string {
+	if s.FP != "" {
+		return s.FP
+	}
+	return s.Def.Fingerprint()
+}
+
+// source materializes the job's measurement source for one attempt.
+func (s Spec) source(attempt int) (source.Source, error) {
+	if s.Source != nil {
+		return s.Source(attempt)
+	}
+	m, err := machine.New(s.Def, s.Seed+int64(attempt)*31)
+	if err != nil {
+		return nil, err
+	}
+	return source.Live(m), nil
+}
+
+// TraceSpec returns an offline campaign job replaying a recorded trace:
+// the pipeline consumes the recording through a replayer instead of a
+// simulated machine, so whole campaigns run with zero simulation.
+func TraceSpec(name string, t *trace.Trace, mode trace.Mode) Spec {
+	if name == "" {
+		name = fmt.Sprintf("%s (replay)", t.Header.Machine.Name)
+	}
+	return Spec{
+		Name: name,
+		FP:   t.Header.Machine.Fingerprint,
+		Source: func(int) (source.Source, error) {
+			return source.FromTrace(t, mode), nil
+		},
+	}
 }
 
 // PaperSpecs returns jobs for the paper's nine Table II settings, with
@@ -286,7 +339,7 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 		Attempts:           out.Attempts,
 		Match:              out.Match,
 		Cached:             out.Cached,
-		MachineFingerprint: spec.Def.Fingerprint(),
+		MachineFingerprint: spec.MachineFingerprint(),
 		WallSeconds:        time.Since(start).Seconds(),
 	}
 	if out.Err == nil && out.Result != nil && out.Result.Mapping != nil {
@@ -302,19 +355,24 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 	return jr
 }
 
-// attemptLoop is the default per-job execution: build the machine, run
-// DRAMDig, retry any failure up to cfg.Retries times with perturbed
-// deterministic seeds. Simulation noise makes pipeline failures
-// transient; configuration errors simply fail again and exhaust quickly.
+// attemptLoop is the default per-job execution: materialize the job's
+// source, run DRAMDig, retry any failure up to cfg.Retries times with
+// perturbed deterministic seeds. Simulation noise makes pipeline
+// failures transient; configuration errors simply fail again and
+// exhaust quickly. Context errors abort the loop immediately — a
+// cancelled attempt must not be retried.
 func attemptLoop(ctx context.Context, spec Spec, cfg Config, idx int, name string, emit func(Event)) Outcome {
 	var lastErr error
 	for attempt := 0; attempt <= cfg.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Outcome{Err: err, Attempts: attempt}
 		}
-		res, match, err := runAttempt(spec, cfg, idx, attempt)
+		res, match, err := runAttempt(ctx, spec, cfg, idx, attempt)
 		if err == nil {
 			return Outcome{Result: res, Match: match, Attempts: attempt + 1}
+		}
+		if ctx.Err() != nil {
+			return Outcome{Err: ctx.Err(), Attempts: attempt + 1}
 		}
 		lastErr = err
 		if attempt < cfg.Retries {
@@ -324,8 +382,8 @@ func attemptLoop(ctx context.Context, spec Spec, cfg Config, idx int, name strin
 	return Outcome{Err: lastErr, Attempts: cfg.Retries + 1}
 }
 
-func runAttempt(spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, error) {
-	m, err := machine.New(spec.Def, spec.Seed+int64(attempt)*31)
+func runAttempt(ctx context.Context, spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, error) {
+	src, err := spec.source(attempt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -334,42 +392,45 @@ func runAttempt(spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, er
 		toolCfg = *spec.Tool
 	}
 	toolCfg.Seed = cfg.Seed + int64(idx)*7919 + int64(attempt)*104729
+	if sg, ok := src.(source.SeedSuggester); ok {
+		// Replay sources carry the recorded tool seed; a derived one
+		// would make strict replays diverge.
+		toolCfg.Seed = sg.SuggestedToolSeed()
+	}
 
-	// With a trace sink configured, the tool runs over a recorder so the
+	// With a trace sink configured, the source is wrapped so the
 	// attempt's whole timing channel is captured for offline replay.
-	var target timing.Target = m
-	var rec *trace.Recorder
 	if cfg.TraceSink != nil {
-		sink, err := cfg.TraceSink(spec, idx, attempt)
-		if err != nil {
-			return nil, false, fmt.Errorf("campaign: trace sink: %w", err)
-		}
-		if sink != nil {
-			w, err := trace.NewWriter(sink, trace.HeaderFor(m, "dramdig", toolCfg.Seed))
-			if err != nil {
-				sink.Close()
-				return nil, false, fmt.Errorf("campaign: trace writer: %w", err)
-			}
-			rec = trace.NewRecorder(m, w)
-			target = rec
-		}
+		src = source.Traced(src, "dramdig", toolCfg.Seed, func() (io.WriteCloser, error) {
+			return cfg.TraceSink(spec, idx, attempt)
+		})
 	}
 
-	tool, err := core.New(target, toolCfg)
+	run, err := src.Open()
 	if err != nil {
-		if rec != nil {
-			rec.Close()
-		}
+		return nil, false, fmt.Errorf("campaign: %w", err)
+	}
+	tool, err := core.New(run, toolCfg)
+	if err != nil {
+		run.Close()
 		return nil, false, err
 	}
-	res, err := tool.Run()
-	if rec != nil {
-		if cerr := rec.Close(); cerr != nil && err == nil {
-			return nil, false, fmt.Errorf("campaign: trace recording: %w", cerr)
+	res, runErr := tool.RunContext(ctx)
+	cerr := run.Close()
+	if runErr != nil {
+		if cerr != nil && ctx.Err() == nil {
+			// A deferred source error (replay divergence, trace-write
+			// failure) usually explains the pipeline error; keep both.
+			return nil, false, errors.Join(cerr, runErr)
 		}
+		return nil, false, runErr
 	}
-	if err != nil {
-		return nil, false, err
+	if cerr != nil {
+		return nil, false, fmt.Errorf("campaign: source: %w", cerr)
 	}
-	return res, res.Mapping.EquivalentTo(m.Truth()), nil
+	match := false
+	if truth := source.Truth(run); truth != nil && res.Mapping != nil {
+		match = res.Mapping.EquivalentTo(truth)
+	}
+	return res, match, nil
 }

@@ -109,3 +109,57 @@ func TestCampaignTraceSinkSkips(t *testing.T) {
 		t.Fatalf("sink consulted %d times, want 1", calls)
 	}
 }
+
+// TestCampaignOfflineReplay: campaigns run equally over recorded traces.
+// A TraceSpec job replays a recording with zero simulation, reuses the
+// recorded tool seed (ignoring the campaign's derived seeds), and
+// recovers the identical mapping fingerprint under the recorded
+// machine's identity.
+func TestCampaignOfflineReplay(t *testing.T) {
+	spec, err := PaperSpec(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf closeBuffer
+	rep, err := Run(context.Background(), []Spec{spec}, Config{
+		Workers: 1,
+		Seed:    1,
+		TraceSink: func(Spec, int, int) (io.WriteCloser, error) {
+			return &buf, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 1 {
+		t.Fatalf("live job failed: %v", rep.Jobs[0].Err)
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The campaign seed differs on purpose: replay must use the
+	// recorded tool seed or strict mode would diverge.
+	off := TraceSpec("", tr, trace.Strict)
+	rep2, err := Run(context.Background(), []Spec{off}, Config{Workers: 1, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := rep2.Jobs[0]
+	if jr.Err != nil {
+		t.Fatalf("offline job failed: %v", jr.Err)
+	}
+	if jr.Fingerprint != rep.Jobs[0].Fingerprint {
+		t.Fatalf("offline mapping %s, live mapping %s", jr.Fingerprint, rep.Jobs[0].Fingerprint)
+	}
+	if jr.MachineFingerprint != spec.Def.Fingerprint() {
+		t.Fatalf("offline machine fingerprint %s, want %s", jr.MachineFingerprint, spec.Def.Fingerprint())
+	}
+	if jr.Match {
+		t.Fatal("offline job claims ground-truth match; traces carry no truth")
+	}
+	if jr.Name != "No.4 (replay)" {
+		t.Fatalf("offline job name %q", jr.Name)
+	}
+}

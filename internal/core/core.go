@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -81,6 +82,10 @@ type Config struct {
 	Seed int64
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// OnStep, when set, is called after each completed pipeline step
+	// ("calibrate", "coarse", "partition", "resolve", "fine") with its
+	// cost — the engine's WithProgress hook.
+	OnStep func(step string, stats StepStats)
 }
 
 func (c *Config) setDefaults() {
@@ -184,8 +189,9 @@ type Result struct {
 type Tool struct {
 	cfg         Config
 	target      timing.Target
-	meter       *timing.Meter // detection measurements (Rounds, Repeats)
-	pmeter      *timing.Meter // partition measurements (PartitionRounds, median of 3)
+	ctx         context.Context // run context; every measurement loop observes it
+	meter       *timing.Meter   // detection measurements (Rounds, Repeats)
+	pmeter      *timing.Meter   // partition measurements (PartitionRounds, median of 3)
 	rng         *rand.Rand
 	logf        func(string, ...any)
 	calSamples  int
@@ -193,11 +199,23 @@ type Tool struct {
 	recalibs    int
 }
 
+// interrupted returns the run context's error, if any; the pipeline's
+// measurement loops poll it so cancellation propagates promptly.
+func (t *Tool) interrupted() error {
+	if t.ctx == nil {
+		return nil
+	}
+	return t.ctx.Err()
+}
+
 // driftGuard probes the sentinel pairs and re-calibrates when the timing
 // channel has drifted past the threshold. Routine calls (force=false) are
 // throttled; post-operation verification (force=true) always probes.
 // It reports whether a re-calibration occurred.
 func (t *Tool) driftGuard(force bool) (bool, error) {
+	if err := t.interrupted(); err != nil {
+		return false, err
+	}
 	if t.cfg.DisableDriftGuard || t.meter == nil {
 		return false, nil
 	}
@@ -208,7 +226,7 @@ func (t *Tool) driftGuard(force bool) (bool, error) {
 	if t.meter.DriftOK() {
 		return false, nil
 	}
-	cal, err := t.meter.Calibrate(t.rng, t.calSamples)
+	cal, err := t.meter.CalibrateContext(t.ctx, t.rng, t.calSamples)
 	if err != nil {
 		return false, fmt.Errorf("re-calibration: %w", err)
 	}
@@ -248,8 +266,21 @@ func New(target timing.Target, cfg Config) (*Tool, error) {
 	}, nil
 }
 
-// Run executes the full DRAMDig pipeline.
+// Run executes the full DRAMDig pipeline without cancellation; it is
+// RunContext with a background context.
 func (t *Tool) Run() (*Result, error) {
+	return t.RunContext(context.Background())
+}
+
+// RunContext executes the full DRAMDig pipeline under ctx. Every
+// measurement loop observes the context, so cancellation or a deadline
+// returns promptly with an error satisfying errors.Is against the
+// context's error.
+func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.ctx = ctx
 	start := time.Now()
 	startClock := t.target.ClockNs()
 	res := &Result{Steps: make(map[string]StepStats)}
@@ -284,7 +315,7 @@ func (t *Tool) Run() (*Result, error) {
 		}
 	}
 	t.calSamples = calSamples
-	cal, err := meter.Calibrate(t.rng, calSamples)
+	cal, err := meter.CalibrateContext(ctx, t.rng, calSamples)
 	if err != nil {
 		return nil, fmt.Errorf("dramdig: %w", err)
 	}
@@ -367,9 +398,13 @@ func (t *Tool) Run() (*Result, error) {
 }
 
 func (t *Tool) recordStep(res *Result, name string, clock0 float64, meas0 uint64) {
-	res.Steps[name] = StepStats{
+	stats := StepStats{
 		SimSeconds:   (t.target.ClockNs() - clock0) / 1e9,
 		Measurements: t.measurements() - meas0,
+	}
+	res.Steps[name] = stats
+	if t.cfg.OnStep != nil {
+		t.cfg.OnStep(name, stats)
 	}
 }
 

@@ -58,6 +58,14 @@ func (t *Tool) partition(pool []addr.Phys, banks int) ([]*pile, error) {
 		p := remaining[ri]
 		var members, rest []addr.Phys
 		for i, q := range remaining {
+			// The scan is the pipeline's hottest measurement loop —
+			// millions of samples on big settings — so cancellation is
+			// polled inside it, not just per round.
+			if i&63 == 0 {
+				if err := t.interrupted(); err != nil {
+					return nil, err
+				}
+			}
 			if i == ri {
 				continue
 			}

@@ -22,6 +22,7 @@
 package drama
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -134,6 +135,7 @@ func (r *Result) String() string {
 type Tool struct {
 	cfg    Config
 	target timing.Target
+	ctx    context.Context
 	meter  *timing.Meter
 	rng    *rand.Rand
 	logf   func(string, ...any)
@@ -157,6 +159,17 @@ func New(target timing.Target, cfg Config) (*Tool, error) {
 
 // Run executes DRAMA until it converges or times out.
 func (t *Tool) Run() (*Result, error) {
+	return t.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: the set-collection scans — DRAMA's
+// dominant measurement loops — poll it, so cancellation returns promptly
+// with the context's error.
+func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.ctx = ctx
 	start := time.Now()
 	clock0 := t.target.ClockNs()
 	meter, err := timing.NewMeter(t.target, t.cfg.Rounds, 1)
@@ -166,7 +179,7 @@ func (t *Tool) Run() (*Result, error) {
 	t.meter = meter
 
 	// One-shot calibration; the threshold is never refreshed.
-	cal, err := meter.Calibrate(t.rng, 1024)
+	cal, err := meter.CalibrateContext(ctx, t.rng, 1024)
 	if err != nil {
 		return nil, fmt.Errorf("drama: %w", err)
 	}
@@ -174,6 +187,9 @@ func (t *Tool) Run() (*Result, error) {
 
 	attempts := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if (t.target.ClockNs()-clock0)/1e9 > t.cfg.TimeoutSimSeconds {
 			return nil, fmt.Errorf("%w (after %d attempts, %.0f simulated seconds)",
 				ErrTimeout, attempts, (t.target.ClockNs()-clock0)/1e9)
@@ -214,6 +230,9 @@ func (t *Tool) attempt(clock0 float64) (*Result, error) {
 	var sets [][]addr.Phys
 	failedTries := 0
 	for float64(len(pool)-len(remaining)) < t.cfg.CoverageFrac*float64(len(pool)) {
+		if err := t.ctx.Err(); err != nil {
+			return nil, err
+		}
 		if (t.target.ClockNs()-clock0)/1e9 > t.cfg.TimeoutSimSeconds {
 			return nil, fmt.Errorf("timeout during set collection")
 		}
@@ -223,7 +242,12 @@ func (t *Tool) attempt(clock0 float64) (*Result, error) {
 		}
 		base := remaining[t.rng.Intn(len(remaining))]
 		var members, rest []addr.Phys
-		for _, q := range remaining {
+		for i, q := range remaining {
+			if i&63 == 0 {
+				if err := t.ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if q == base {
 				continue
 			}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"dramdig/internal/addr"
+	"dramdig/internal/core"
+	"dramdig/internal/machine"
+	"dramdig/internal/source"
+	"dramdig/internal/trace"
+)
+
+func testMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.NewByNo(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// cancelRun wraps a source.Run and cancels a context after a fixed
+// number of measurements, counting every call.
+type cancelRun struct {
+	source.Run
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (c *cancelRun) MeasurePair(a, b addr.Phys, rounds int) float64 {
+	c.calls++
+	if c.calls == c.after {
+		c.cancel()
+	}
+	return c.Run.MeasurePair(a, b, rounds)
+}
+
+// cancelSource injects a cancelRun around another source's runs.
+type cancelSource struct {
+	source.Source
+	cancel context.CancelFunc
+	after  int
+	run    *cancelRun
+}
+
+func (s *cancelSource) Open() (source.Run, error) {
+	run, err := s.Source.Open()
+	if err != nil {
+		return nil, err
+	}
+	s.run = &cancelRun{Run: run, cancel: s.cancel, after: s.after}
+	return s.run, nil
+}
+
+// TestRunCancelsMidPipeline is the acceptance check for context
+// propagation: cancelling mid-pipeline returns the context error
+// promptly — within a bounded number of further measurements, not at
+// the end of the current step.
+func TestRunCancelsMidPipeline(t *testing.T) {
+	full, err := New().Run(context.Background(), source.Live(testMachine(t)), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(full.Measurements)
+	if total < 1000 {
+		t.Fatalf("pipeline took only %d measurements; cancellation points make no sense", total)
+	}
+
+	// One cancel point early (calibration) and one deep in the pipeline
+	// (partitioning). The slack bound covers the longest stretch between
+	// cancellation polls: a 64-iteration partition scan chunk at 3
+	// measurements each, plus drift-guard sentinel probes.
+	const slack = 1024
+	for _, after := range []int{total / 20, total / 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		src := &cancelSource{Source: source.Live(testMachine(t)), cancel: cancel, after: after}
+		res, err := New().Run(ctx, src, WithSeed(1))
+		cancel()
+		if res != nil {
+			t.Errorf("cancel@%d: got a result despite cancellation", after)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel@%d: err = %v, want context.Canceled", after, err)
+		}
+		if src.run.calls > after+slack {
+			t.Errorf("cancel@%d: %d measurements after cancellation (want <= %d)",
+				after, src.run.calls-after, slack)
+		}
+	}
+}
+
+// TestRunSeedDefaultsToRecording: without WithSeed, a trace source's
+// recorded seed applies and strict replay is bit-identical; WithSeed(0)
+// is a genuine zero (the legacy Options.Seed could not express it) and
+// makes the strict replay diverge.
+func TestRunSeedDefaultsToRecording(t *testing.T) {
+	var buf bytes.Buffer
+	live, err := New().Run(context.Background(), source.Live(testMachine(t)),
+		WithSeed(7), WithTraceSink(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.ToolSeed != 7 {
+		t.Fatalf("recorded tool seed %d, want 7", tr.Header.ToolSeed)
+	}
+
+	rep, err := New().Run(context.Background(), source.FromTrace(tr, trace.Strict))
+	if err != nil {
+		t.Fatalf("replay with recorded seed: %v", err)
+	}
+	if got, want := rep.Mapping.Fingerprint(), live.Mapping.Fingerprint(); got != want {
+		t.Fatalf("replayed mapping %s, live %s", got, want)
+	}
+
+	var derr *trace.DivergenceError
+	if _, err := New().Run(context.Background(), source.FromTrace(tr, trace.Strict), WithSeed(0)); !errors.As(err, &derr) {
+		t.Fatalf("strict replay under explicit seed 0 returned %v, want a divergence", err)
+	}
+}
+
+// TestRunProgress: WithProgress reports the five pipeline steps in
+// order, with non-zero measurement costs, and composes with a second
+// callback.
+func TestRunProgress(t *testing.T) {
+	var steps, steps2 []string
+	var measured uint64
+	_, err := New().Run(context.Background(), source.Live(testMachine(t)),
+		WithSeed(1),
+		WithProgress(func(step string, stats core.StepStats) {
+			steps = append(steps, step)
+			measured += stats.Measurements
+		}),
+		WithProgress(func(step string, _ core.StepStats) { steps2 = append(steps2, step) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"calibrate", "coarse", "partition", "resolve", "fine"}
+	if len(steps) != len(want) {
+		t.Fatalf("steps %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps %v, want %v", steps, want)
+		}
+	}
+	if measured == 0 {
+		t.Fatal("progress reported zero measurements across all steps")
+	}
+	if len(steps2) != len(want) {
+		t.Fatalf("second progress callback saw %v", steps2)
+	}
+}

@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,8 +26,10 @@ type AblationRow struct {
 	Note string
 }
 
-// ablateRun executes DRAMDig once and scores it.
-func ablateRun(no int, machineSeed int64, cfg core.Config) (ok bool, simSeconds float64, selected int) {
+// ablateRun executes DRAMDig once and scores it. A cancelled context
+// scores as a failed run; the sweeps break out early and their caller
+// checks the context before trusting the rows.
+func ablateRun(ctx context.Context, no int, machineSeed int64, cfg core.Config) (ok bool, simSeconds float64, selected int) {
 	m, err := machine.NewByNo(no, machineSeed)
 	if err != nil {
 		return false, 0, 0
@@ -35,7 +38,7 @@ func ablateRun(no int, machineSeed int64, cfg core.Config) (ok bool, simSeconds 
 	if err != nil {
 		return false, 0, 0
 	}
-	res, err := tool.Run()
+	res, err := tool.RunContext(ctx)
 	if err != nil {
 		return false, 0, 0
 	}
@@ -49,7 +52,10 @@ func AblateDelta(opts Options, deltas []float64, trials int) []AblationRow {
 		row := AblationRow{Param: fmt.Sprintf("delta=%.2f", d)}
 		var sum float64
 		for i := 0; i < trials; i++ {
-			ok, sec, _ := ablateRun(2, opts.machineSeed(2)+int64(i), core.Config{Seed: opts.Seed + int64(i), Delta: d})
+			if opts.ctx().Err() != nil {
+				break
+			}
+			ok, sec, _ := ablateRun(opts.ctx(), 2, opts.machineSeed(2)+int64(i), core.Config{Seed: opts.Seed + int64(i), Delta: d})
 			row.Runs++
 			if ok {
 				row.Successes++
@@ -72,7 +78,10 @@ func AblateRounds(opts Options, rounds []int, trials int) []AblationRow {
 		row := AblationRow{Param: fmt.Sprintf("rounds=%d", r)}
 		var sum float64
 		for i := 0; i < trials; i++ {
-			ok, sec, _ := ablateRun(2, opts.machineSeed(2)+int64(i), core.Config{Seed: opts.Seed + int64(i), PartitionRounds: r})
+			if opts.ctx().Err() != nil {
+				break
+			}
+			ok, sec, _ := ablateRun(opts.ctx(), 2, opts.machineSeed(2)+int64(i), core.Config{Seed: opts.Seed + int64(i), PartitionRounds: r})
 			row.Runs++
 			if ok {
 				row.Successes++
@@ -97,7 +106,10 @@ func AblatePoolSize(opts Options, pools []int, trials int) []AblationRow {
 		var sum float64
 		selected := 0
 		for i := 0; i < trials; i++ {
-			ok, sec, sel := ablateRun(1, opts.machineSeed(1)+int64(i), core.Config{Seed: opts.Seed + int64(i), MinPoolAddrs: p})
+			if opts.ctx().Err() != nil {
+				break
+			}
+			ok, sec, sel := ablateRun(opts.ctx(), 1, opts.machineSeed(1)+int64(i), core.Config{Seed: opts.Seed + int64(i), MinPoolAddrs: p})
 			row.Runs++
 			selected = sel
 			if ok {
@@ -137,7 +149,10 @@ func AblateDriftGuard(opts Options, trials int) []AblationRow {
 		row := AblationRow{Param: name}
 		var sum float64
 		for i := 0; i < trials; i++ {
-			ok, sec, _ := ablateRun(3, driftGuardSeeds[i], core.Config{
+			if opts.ctx().Err() != nil {
+				break
+			}
+			ok, sec, _ := ablateRun(opts.ctx(), 3, driftGuardSeeds[i], core.Config{
 				Seed:              1,
 				MinPoolAddrs:      8192,
 				DisableDriftGuard: !guard,

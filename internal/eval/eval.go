@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,12 +27,24 @@ type Options struct {
 	Seed int64
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
+	// Ctx, when non-nil, cancels in-flight pipeline runs: every tool
+	// and hammer session observes it, so ^C aborts an experiment sweep
+	// promptly instead of finishing the current machine.
+	Ctx context.Context
 }
 
 func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		fmt.Fprintf(o.Log, format+"\n", args...)
 	}
+}
+
+// ctx returns the configured context or Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) machineSeed(no int) int64 { return o.Seed*131 + int64(no) }
@@ -71,7 +84,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := tool.Run()
+		res, err := tool.RunContext(opts.ctx())
 		if err != nil {
 			return nil, fmt.Errorf("DRAMDig on %s: %w", m.Name(), err)
 		}
@@ -152,7 +165,7 @@ func Figure2(opts Options) ([]Fig2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		digRes, err := dig.Run()
+		digRes, err := dig.RunContext(opts.ctx())
 		if err != nil {
 			return nil, fmt.Errorf("DRAMDig on No.%d: %w", no, err)
 		}
@@ -167,7 +180,7 @@ func Figure2(opts Options) ([]Fig2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		drRes, err := dr.Run()
+		drRes, err := dr.RunContext(opts.ctx())
 		switch {
 		case errors.Is(err, drama.ErrTimeout):
 			row.DRAMASec = m2.ClockNs() / 1e9
@@ -245,7 +258,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		digRes, err := dig.Run()
+		digRes, err := dig.RunContext(opts.ctx())
 		if err != nil {
 			return nil, fmt.Errorf("DRAMDig on No.%d: %w", no, err)
 		}
@@ -255,7 +268,10 @@ func Table3(opts Options) ([]Table3Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			r := sess.Run()
+			r, err := sess.RunContext(opts.ctx())
+			if err != nil {
+				return nil, fmt.Errorf("rowhammer on No.%d: %w", no, err)
+			}
 			row.Dig[test] = r.Flips
 			row.DigTotal += r.Flips
 		}
@@ -271,7 +287,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			drRes, err := dr.Run()
+			drRes, err := dr.RunContext(opts.ctx())
 			if errors.Is(err, drama.ErrTimeout) {
 				row.Drama[test] = 0
 				opts.logf("Table III No.%d T%d: DRAMA timed out, 0 flips", no, test+1)
@@ -290,7 +306,10 @@ func Table3(opts Options) ([]Table3Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			r := sess.Run()
+			r, err := sess.RunContext(opts.ctx())
+			if err != nil {
+				return nil, fmt.Errorf("rowhammer on No.%d: %w", no, err)
+			}
 			row.Drama[test] = r.Flips
 			row.DramaTotal += r.Flips
 		}
@@ -350,6 +369,12 @@ func Table1(opts Options) ([]Table1Row, error) {
 		scoreDrama(opts),
 		scoreDRAMDig(opts),
 	}
+	// The scorers treat per-run errors as tool failures — that is what
+	// Table I measures — so cancellation must be separated out here: a
+	// cancelled sweep is aborted, never scored as failures.
+	if err := opts.ctx().Err(); err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 
@@ -360,6 +385,9 @@ func scoreDRAMDig(opts Options) Table1Row {
 	for _, no := range table1Settings {
 		outputs[no] = map[string]bool{}
 		for trial := 0; trial < 3; trial++ {
+			if opts.ctx().Err() != nil {
+				break
+			}
 			m, err := machine.NewByNo(no, opts.machineSeed(no)+int64(trial))
 			if err != nil {
 				continue
@@ -368,7 +396,7 @@ func scoreDRAMDig(opts Options) Table1Row {
 			if err != nil {
 				continue
 			}
-			res, err := tool.Run()
+			res, err := tool.RunContext(opts.ctx())
 			if err != nil {
 				opts.logf("Table I DRAMDig No.%d trial %d failed: %v", no, trial, err)
 				continue
@@ -403,6 +431,9 @@ func scoreDrama(opts Options) Table1Row {
 	for _, no := range table1Settings {
 		outputs[no] = map[string]bool{}
 		for trial := 0; trial < 3; trial++ {
+			if opts.ctx().Err() != nil {
+				break
+			}
 			runs++
 			m, err := machine.NewByNo(no, opts.machineSeed(no)+int64(trial))
 			if err != nil {
@@ -412,7 +443,7 @@ func scoreDrama(opts Options) Table1Row {
 			if err != nil {
 				continue
 			}
-			res, err := tool.Run()
+			res, err := tool.RunContext(opts.ctx())
 			if err != nil {
 				opts.logf("Table I DRAMA No.%d trial %d: %v", no, trial, err)
 				outputs[no][fmt.Sprintf("failed: %v", err)] = true
@@ -449,6 +480,9 @@ func scoreXiao(opts Options) Table1Row {
 	row := Table1Row{Tool: "Xiao et al."}
 	successes, maxSec := 0, 0.0
 	for _, no := range table1Settings {
+		if opts.ctx().Err() != nil {
+			break
+		}
 		m, err := machine.NewByNo(no, opts.machineSeed(no))
 		if err != nil {
 			continue
@@ -457,7 +491,7 @@ func scoreXiao(opts Options) Table1Row {
 		if err != nil {
 			continue
 		}
-		res, err := tool.Run()
+		res, err := tool.RunContext(opts.ctx())
 		if err != nil {
 			opts.logf("Table I Xiao No.%d: %v", no, err)
 			continue
@@ -480,6 +514,9 @@ func scoreSeaborn(opts Options) Table1Row {
 	row := Table1Row{Tool: "Seaborn et al."}
 	successes, maxSec := 0, 0.0
 	for _, no := range table1Settings {
+		if opts.ctx().Err() != nil {
+			break
+		}
 		m, err := machine.NewByNo(no, opts.machineSeed(no))
 		if err != nil {
 			continue
@@ -488,7 +525,7 @@ func scoreSeaborn(opts Options) Table1Row {
 		if err != nil {
 			continue
 		}
-		res, err := tool.Run()
+		res, err := tool.RunContext(opts.ctx())
 		if err != nil || !res.Exact {
 			opts.logf("Table I Seaborn No.%d: err=%v exact=%v", no, err, res != nil && res.Exact)
 			if res != nil && res.TotalSimSeconds > maxSec {

@@ -16,6 +16,7 @@
 package rowhammer
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -169,11 +170,26 @@ func NewSession(target Target, belief ToolMapping, cfg Config) (*Session, error)
 // Run executes the session: random victims from the tool's memory, one
 // double-sided burst each, flips deduplicated across the session.
 func (s *Session) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run observing a context: the hammer loop polls it per
+// victim, so cancellation returns promptly with the flips induced so far
+// and the context's error.
+func (s *Session) RunContext(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var res Result
 	pool := s.target.Pool()
 	start := s.target.ClockNs()
 	seen := make(map[dram.Flip]struct{})
 	for (s.target.ClockNs()-start)/1e9 < s.cfg.BudgetSimSeconds {
+		if err := ctx.Err(); err != nil {
+			res.SimSeconds = (s.target.ClockNs() - start) / 1e9
+			return res, err
+		}
 		v := pool.RandomAddr(s.rng, 64)
 		// Victim bookkeeping and flip scan cost time either way.
 		s.target.AdvanceClock(s.cfg.VerifyOverheadNs)
@@ -210,7 +226,7 @@ func (s *Session) Run() Result {
 		}
 	}
 	res.SimSeconds = (s.target.ClockNs() - start) / 1e9
-	return res
+	return res, nil
 }
 
 // manySidedGroup builds the TRRespass-style aggressor set: rows

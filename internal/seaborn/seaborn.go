@@ -20,6 +20,7 @@
 package seaborn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -129,6 +130,15 @@ func New(target Target, cfg Config) (*Tool, error) {
 // Run sweeps strides, collecting flip evidence until the kernel rank
 // stops growing, then solves for the consistent function space.
 func (t *Tool) Run() (*Result, error) {
+	return t.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: the hammer-burst loop polls it, so
+// cancellation returns promptly with the context's error.
+func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	clock0 := t.target.ClockNs()
 	pool := t.target.Pool()
@@ -150,6 +160,9 @@ func (t *Tool) Run() (*Result, error) {
 			break
 		}
 		for i := 0; i < burstsPerSweep; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if (t.target.ClockNs()-clock0)/1e9 > t.cfg.TimeoutSimSeconds {
 				break
 			}

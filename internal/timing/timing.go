@@ -6,6 +6,7 @@
 package timing
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -140,6 +141,13 @@ func (c CalibrationResult) String() string {
 // centers. Random pairs hit the same bank with probability ≈ 1/#banks, so
 // `samples` should be a generous multiple of the bank count.
 func (m *Meter) Calibrate(rng *rand.Rand, samples int) (CalibrationResult, error) {
+	return m.CalibrateContext(nil, rng, samples)
+}
+
+// CalibrateContext is Calibrate observing a context: calibration is a
+// long measurement loop, so cancellation is polled inside it and returns
+// the context's error. A nil ctx disables the polling.
+func (m *Meter) CalibrateContext(ctx context.Context, rng *rand.Rand, samples int) (CalibrationResult, error) {
 	pool := m.target.Pool()
 	if pool.NumPages() < 2 {
 		return CalibrationResult{}, fmt.Errorf("timing: pool too small to calibrate")
@@ -154,6 +162,11 @@ func (m *Meter) Calibrate(rng *rand.Rand, samples int) (CalibrationResult, error
 	taken := make([]sample, 0, samples)
 	vals := make([]float64, 0, samples)
 	for i := 0; i < samples; i++ {
+		if ctx != nil && i&31 == 0 {
+			if err := ctx.Err(); err != nil {
+				return CalibrationResult{}, err
+			}
+		}
 		a := pool.RandomAddr(rng, 1<<CacheLineBits)
 		b := pool.RandomAddr(rng, 1<<CacheLineBits)
 		if a == b {

@@ -16,6 +16,7 @@
 package xiao
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -97,6 +98,7 @@ func (r *Result) String() string {
 type Tool struct {
 	cfg    Config
 	target timing.Target
+	ctx    context.Context
 	meter  *timing.Meter
 	rng    *rand.Rand
 	logf   func(string, ...any)
@@ -144,6 +146,17 @@ func (t *Tool) votePairs(mask uint64) (bool, bool) {
 // Run executes the tool: coarse bit classification, then the two-bit
 // function sweep.
 func (t *Tool) Run() (*Result, error) {
+	return t.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: the per-bit vote loops and the
+// function sweeps poll it, so cancellation returns promptly with the
+// context's error.
+func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.ctx = ctx
 	start := time.Now()
 	clock0 := t.target.ClockNs()
 	info := t.target.SysInfo()
@@ -158,7 +171,7 @@ func (t *Tool) Run() (*Result, error) {
 		return nil, err
 	}
 	t.meter = meter
-	if _, err := meter.Calibrate(t.rng, 24*banks+256); err != nil {
+	if _, err := meter.CalibrateContext(ctx, t.rng, 24*banks+256); err != nil {
 		return nil, fmt.Errorf("xiao: %w", err)
 	}
 
@@ -170,6 +183,9 @@ func (t *Tool) Run() (*Result, error) {
 	}
 	reachable := map[uint]bool{}
 	for b := uint(timing.CacheLineBits); b < physBits; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		conflict, ok := t.votePairs(uint64(1) << b)
 		if !ok {
 			rowBits = append(rowBits, b) // top-of-space default
@@ -206,6 +222,9 @@ func (t *Tool) Run() (*Result, error) {
 	seen := map[uint64]bool{}
 	for sweep := 0; sweep < t.cfg.RetrySweeps && len(funcs) < L; sweep++ {
 		for i := 0; i < len(bankBits); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for j := i + 1; j < len(bankBits); j++ {
 				mask := (uint64(1) << bankBits[i]) | (uint64(1) << bankBits[j])
 				if seen[mask] {
@@ -220,6 +239,9 @@ func (t *Tool) Run() (*Result, error) {
 		// Pair a bank bit with a detected row bit: functions like
 		// (14, 18) where 18 was *not* covered (single-rank DDR3).
 		for _, i := range bankBits {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, r := range rowBits {
 				if r > i+8 {
 					continue // their heuristic pairs nearby bits
