@@ -1,4 +1,4 @@
-// Command benchjson runs the repository's campaign and engine
+// Command benchjson runs the repository's campaign, engine and queue
 // benchmarks through testing.Benchmark and emits the results as JSON, so
 // the performance trajectory can be tracked across commits:
 //
@@ -6,9 +6,11 @@
 //
 // The output is one self-contained document: host facts plus one entry
 // per benchmark with iterations, ns/op and the benchmark's custom
-// metrics (machines/s, samples/s, ...), including the
+// metrics (machines/s, samples/s, jobs/s, ...), including the
 // engine_live_vs_replay row tracking how much faster a trace replay is
-// than the live simulation it recorded.
+// than the live simulation it recorded, and the durable-queue rows
+// (queue_submit, queue_recover) tracking the WAL's fsync-bound submit
+// path and crash-recovery replay throughput.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"dramdig"
+	"dramdig/internal/queue"
 	"dramdig/internal/trace"
 )
 
@@ -79,6 +82,9 @@ func main() {
 	run("trace_replay_strict", benchTraceReplay)
 	run("engine_live", benchEngineLive)
 	run("engine_replay_strict", benchEngineReplay)
+	run("queue_submit", benchQueueSubmit)
+	run("queue_submit_memory", benchQueueSubmitMemory)
+	run("queue_recover", benchQueueRecover)
 
 	// BenchmarkEngineLiveVsReplay: one derived row so the JSON document
 	// tracks live-vs-trace-replay throughput directly across PRs. The
@@ -240,6 +246,107 @@ func benchEngineReplay(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tr.Samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchPayload approximates a queued campaign request.
+var benchPayload = json.RawMessage(`{"request":{"machines":[1,4,7,8],"seed":42},"seed":42}`)
+
+// benchQueueSubmit measures the durable submit path: one WAL append +
+// fsync per job, the latency every POST /v1/campaigns pays.
+func benchQueueSubmit(b *testing.B) {
+	dir, err := os.MkdirTemp("", "benchq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	q, err := queue.Open(queue.Config{Dir: dir, Capacity: 1 << 30, CompactEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := q.Submit(benchPayload, queue.SubmitOptions{Priority: i % 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// benchQueueSubmitMemory is the same path without durability — the gap
+// to queue_submit is the price of the fsync'd WAL.
+func benchQueueSubmitMemory(b *testing.B) {
+	q, err := queue.Open(queue.Config{Capacity: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := q.Submit(benchPayload, queue.SubmitOptions{Priority: i % 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// benchQueueRecover measures crash recovery: reopening a queue whose
+// WAL holds a mixed backlog (pending, checkpointed in-flight, done) and
+// re-materializing every job.
+func benchQueueRecover(b *testing.B) {
+	const jobs = 256
+	dir, err := os.MkdirTemp("", "benchq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	q, err := queue.Open(queue.Config{Dir: dir, Capacity: jobs, KeepTerminal: jobs, CompactEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < jobs; i++ {
+		if _, _, err := q.Submit(benchPayload, queue.SubmitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		// Dequeue pops the oldest pending job; act on that one.
+		switch i % 3 {
+		case 0: // leave pending
+		case 1: // in flight with a checkpoint — the crash-recovery case
+			j, ok, err := q.Dequeue()
+			if err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+			if err := q.Checkpoint(j.ID, json.RawMessage(`{"jobs":[{"index":0}]}`)); err != nil {
+				b.Fatal(err)
+			}
+		case 2:
+			j, ok, err := q.Dequeue()
+			if err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+			if err := q.Finish(j.ID, json.RawMessage(`{"ok":true}`)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// No Close: recover the un-compacted WAL the way a crashed daemon's
+	// successor would. (The first iteration replays the raw WAL; later
+	// ones load the snapshot the previous Open compacted — both are
+	// recovery paths a restarted daemon takes.)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qr, err := queue.Open(queue.Config{Dir: dir, Capacity: jobs, KeepTerminal: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := qr.StatsSnapshot(); got.Pending == 0 {
+			b.Fatalf("recovery lost the backlog: %+v", got)
+		}
+		if err := qr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 func fatal(err error) {

@@ -6,22 +6,36 @@
 //
 // Usage:
 //
-//	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-workers N] [-retries N] [-v]
+//	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-queue-dir DIR]
+//	         [-workers N] [-retries N] [-max-running N] [-max-queued N] [-v]
 //
 // API (v1, the canonical surface):
 //
-//	POST /v1/campaigns               submit a campaign, returns {"id": "c1", ...}
-//	GET  /v1/campaigns               paginated campaign index (?limit=20&offset=0)
-//	GET  /v1/campaigns/{id}          status, recorded progress events, report
-//	GET  /v1/campaigns/{id}/events   live progress as Server-Sent Events
-//	GET  /v1/campaigns/{id}/trace    recorded timing traces: JSON index, ?job=N streams binary
-//	GET  /v1/mappings/{fingerprint}  cached mapping by machine fingerprint
-//	GET  /v1/traces/{fingerprint}    recorded timing trace by machine fingerprint
-//	GET  /v1/healthz                 liveness + store statistics
+//	POST   /v1/campaigns               enqueue a campaign, returns {"id": "c1", "status": "queued", ...}
+//	GET    /v1/campaigns               paginated campaign index (?limit=20&offset=0)
+//	GET    /v1/campaigns/{id}          status, recorded progress events, report
+//	DELETE /v1/campaigns/{id}          cancel: dequeue if queued, stop via context if running
+//	GET    /v1/campaigns/{id}/events   live progress as Server-Sent Events
+//	GET    /v1/campaigns/{id}/trace    recorded timing traces: JSON index, ?job=N streams binary
+//	GET    /v1/mappings/{fingerprint}  cached mapping by machine fingerprint
+//	GET    /v1/traces/{fingerprint}    recorded timing trace by machine fingerprint
+//	GET    /v1/queue                   queue depth, running campaigns, capacity, drain flag
+//	GET    /v1/healthz                 liveness + store and queue statistics
 //
 // Errors share one envelope: {"error":{"code":"not_found","message":...}}.
 // The original unversioned routes still answer as deprecated aliases of
-// their /v1 successors (with Deprecation and Link headers).
+// their /v1 successors (with Deprecation and Link headers); the aliases
+// do not honor Idempotency-Key.
+//
+// Campaigns flow through a durable job queue (internal/queue): POST
+// validates and enqueues, a scheduler drains the queue into the worker
+// pool up to -max-running concurrent campaigns, and a full backlog is
+// refused with 429 + Retry-After. With -queue-dir set the queue is
+// WAL-backed: a restarted daemon re-enqueues campaigns that were
+// interrupted mid-run and resumes them from their last checkpoint,
+// replaying already-finished jobs from the result store (-cache-dir).
+// `Idempotency-Key` on POST /v1/campaigns deduplicates resubmissions of
+// the same campaign across the retained job history.
 //
 // With -trace-dir set, every campaign job runs behind an internal/trace
 // recorder and its full timing channel persists content-addressed next
@@ -29,12 +43,15 @@
 //
 // Example:
 //
-//	curl -s localhost:8080/v1/campaigns -d '{"machines":[-1],"seed":42}'
+//	curl -s localhost:8080/v1/campaigns -H 'Idempotency-Key: nightly-42' -d '{"machines":[-1],"seed":42}'
 //	curl -sN localhost:8080/v1/campaigns/c1/events
 //	curl -s localhost:8080/v1/campaigns/c1
+//	curl -s localhost:8080/v1/queue
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: in-flight campaigns are
-// cancelled via context and drained before exit.
+// SIGINT/SIGTERM shut the daemon down gracefully: new submissions are
+// refused with 503 + Retry-After, in-flight campaigns are cancelled via
+// context and drained before exit — their queue entries (and
+// checkpoints) survive for the next boot to resume.
 package main
 
 import (
@@ -50,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"dramdig/internal/queue"
 	"dramdig/internal/store"
 )
 
@@ -58,9 +76,12 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		cacheDir   = flag.String("cache-dir", "", "persist results as JSON under this directory (empty: memory only)")
 		traceDir   = flag.String("trace-dir", "", "record every job's timing trace under this directory (empty: tracing off)")
+		queueDir   = flag.String("queue-dir", "", "persist the job queue (WAL + snapshots) under this directory (empty: memory only, no crash recovery)")
 		maxEntries = flag.Int("cache-entries", 128, "in-memory LRU capacity")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "default campaign worker pool size")
 		retries    = flag.Int("retries", 1, "extra attempts per failed job (0 disables retries)")
+		maxRun     = flag.Int("max-running", maxRunning, "concurrently executing campaigns; the rest wait in the queue")
+		maxQueued  = flag.Int("max-queued", 64, "pending campaign backlog before POSTs get 429")
 		verbose    = flag.Bool("v", false, "log progress to stderr")
 	)
 	flag.Parse()
@@ -76,6 +97,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	q, err := queue.Open(queue.Config{Dir: *queueDir, Capacity: *maxQueued})
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -86,7 +111,13 @@ func main() {
 	if r == 0 {
 		r = -1
 	}
-	srv := newServer(ctx, st, *workers, r, *traceDir != "", logf)
+	srv := newServer(ctx, st, q, serverConfig{
+		workers:    *workers,
+		retries:    r,
+		tracing:    *traceDir != "",
+		maxRunning: *maxRun,
+		logf:       logf,
+	})
 	httpSrv := &http.Server{
 		Addr:        *addr,
 		Handler:     srv,
@@ -102,6 +133,11 @@ func main() {
 		// Release the signal handler immediately: a second SIGINT/SIGTERM
 		// now force-kills instead of being swallowed while we drain.
 		stop()
+		// Refuse new work for the rest of this process's life: accepted
+		// campaigns would be cancelled moments later, and queued ones
+		// would sit until the next boot anyway. Clients get 503 +
+		// Retry-After and resubmit to the successor.
+		srv.beginDrain()
 		fmt.Fprintln(os.Stderr, "dramdigd: shutting down (signal again to force)")
 	case err := <-errCh:
 		fatal(err)
@@ -121,6 +157,11 @@ func main() {
 	case <-drained:
 	case <-time.After(30 * time.Second):
 		fmt.Fprintln(os.Stderr, "dramdigd: campaigns still draining after 30s, exiting anyway")
+	}
+	// Compact and release the queue: interrupted campaigns stay recorded
+	// as in flight, with their checkpoints, for the next boot to resume.
+	if err := q.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dramdigd: queue close:", err)
 	}
 	fmt.Fprintln(os.Stderr, "dramdigd: bye")
 }

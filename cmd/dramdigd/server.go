@@ -1,57 +1,85 @@
-// The dramdigd HTTP surface: a handler struct wiring campaigns and the
-// result store behind a versioned JSON API. Kept separate from main so
-// tests can drive it through httptest without sockets or signals.
+// The dramdigd HTTP surface: a handler struct wiring campaigns, the
+// durable job queue and the result store behind a versioned JSON API.
+// Kept separate from main so tests can drive it through httptest
+// without sockets or signals.
 //
 // The canonical surface lives under /v1 with a uniform error envelope
 // {"error":{"code":...,"message":...}}, campaign listing with
 // limit/offset pagination, and live progress streaming over SSE at
 // GET /v1/campaigns/{id}/events. The original unversioned routes remain
 // as thin deprecated aliases: same handlers, plus Deprecation and Link
-// (successor-version) headers.
+// (successor-version) headers — minus Idempotency-Key support, which is
+// a /v1-only contract.
+//
+// Campaign execution is queue-driven: POST /v1/campaigns validates and
+// enqueues (202 with status "queued"), a scheduler goroutine drains the
+// queue into the worker pool up to the concurrent-campaign limit, and
+// every state transition lands in the queue's WAL. With a durable queue
+// (-queue-dir) a restarted daemon re-enqueues interrupted campaigns and
+// resumes them from their last checkpoint, replaying already-finished
+// jobs from the result store.
 
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"dramdig/internal/campaign"
 	"dramdig/internal/core"
 	"dramdig/internal/machine"
+	"dramdig/internal/queue"
 	"dramdig/internal/specs"
 	"dramdig/internal/store"
 	"dramdig/internal/sysinfo"
 )
 
-// server is the daemon's handler. Campaigns run asynchronously on the
-// base context, so cancelling it (process shutdown) drains them.
-type server struct {
-	mux     *http.ServeMux
-	st      *store.Store
-	baseCtx context.Context
+// serverConfig tunes the daemon handler.
+type serverConfig struct {
+	// workers caps each campaign's worker pool; retries is the engine
+	// retry budget (-1 disables).
 	workers int
 	retries int
 	// tracing records every campaign job's timing channel into the
 	// store's trace tier, content-addressed by machine fingerprint.
 	tracing bool
+	// maxRunning bounds concurrently executing campaigns (default 8);
+	// everything beyond it waits in the queue.
+	maxRunning int
+	logf       func(format string, args ...any)
+}
+
+// server is the daemon's handler. Campaigns run asynchronously on the
+// base context, so cancelling it (process shutdown) drains them; their
+// queue entries stay in flight and recover at the next boot.
+type server struct {
+	mux     *http.ServeMux
+	st      *store.Store
+	q       *queue.Queue
+	baseCtx context.Context
+	cfg     serverConfig
 	logf    func(format string, args ...any)
 	// runCampaign is campaign.Run, injectable for handler tests.
 	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
 
 	mu        sync.Mutex
-	nextID    int
 	running   int
+	draining  bool
 	campaigns map[string]*campaignState
 	// order tracks campaign insertion for eviction: finished campaigns
 	// past maxCampaigns are dropped oldest-first so a long-lived daemon
 	// doesn't hoard every report ever produced.
 	order []string
+	// slotFree wakes the scheduler when a running campaign finishes.
+	slotFree chan struct{}
 
 	wg sync.WaitGroup // running campaigns
 }
@@ -60,7 +88,7 @@ type server struct {
 type campaignState struct {
 	mu     sync.Mutex
 	id     string
-	status string // "running", "done", "failed"
+	status string // "queued", "running", "done", "failed", "cancelled"
 	total  int
 	done   int
 	// specs keeps the submitted jobs so the trace endpoint can map job
@@ -68,20 +96,36 @@ type campaignState struct {
 	specs  []campaign.Spec
 	events []campaign.Event
 	report *campaign.Report
-	errMsg string
+	// reportRaw carries a previous process's report, recovered from the
+	// queue's terminal record, when report itself was never built here.
+	reportRaw json.RawMessage
+	errMsg    string
+	// cancel stops the campaign's context; cancelRequested marks a
+	// client cancellation so completion reports "cancelled", not
+	// "failed".
+	cancel          context.CancelFunc
+	cancelRequested bool
 	// changed is closed and replaced on every mutation — a broadcast
 	// the SSE event streams block on.
 	changed chan struct{}
 }
 
-func newCampaignState(id string, specs []campaign.Spec) *campaignState {
+func newCampaignState(id, status string, specs []campaign.Spec, total int) *campaignState {
+	if len(specs) > 0 {
+		total = len(specs)
+	}
 	return &campaignState{
 		id:      id,
-		status:  "running",
-		total:   len(specs),
+		status:  status,
+		total:   total,
 		specs:   specs,
 		changed: make(chan struct{}),
 	}
+}
+
+// terminalStatus reports whether a campaign status is final.
+func terminalStatus(status string) bool {
+	return status == "done" || status == "failed" || status == "cancelled"
 }
 
 // bumpLocked wakes every blocked event stream. Callers hold st.mu.
@@ -90,29 +134,34 @@ func (st *campaignState) bumpLocked() {
 	st.changed = make(chan struct{})
 }
 
-func newServer(baseCtx context.Context, st *store.Store, workers, retries int, tracing bool, logf func(string, ...any)) *server {
-	if logf == nil {
-		logf = func(string, ...any) {}
+func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg serverConfig) *server {
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	if cfg.maxRunning <= 0 {
+		cfg.maxRunning = maxRunning
 	}
 	s := &server{
 		st:          st,
+		q:           q,
 		baseCtx:     baseCtx,
-		workers:     workers,
-		retries:     retries,
-		tracing:     tracing,
-		logf:        logf,
+		cfg:         cfg,
+		logf:        cfg.logf,
 		runCampaign: campaign.Run,
 		campaigns:   make(map[string]*campaignState),
+		slotFree:    make(chan struct{}, 1),
 	}
 	s.mux = http.NewServeMux()
 	// The canonical, versioned surface.
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleGetCampaignTrace)
 	s.mux.HandleFunc("GET /v1/mappings/{fingerprint}", s.handleGetMapping)
 	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleGetTrace)
+	s.mux.HandleFunc("GET /v1/queue", s.handleGetQueue)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	// Deprecated unversioned aliases of the /v1 routes.
 	s.mux.HandleFunc("POST /campaigns", deprecated(s.handleCreateCampaign))
@@ -121,6 +170,9 @@ func newServer(baseCtx context.Context, st *store.Store, workers, retries int, t
 	s.mux.HandleFunc("GET /mappings/{fingerprint}", deprecated(s.handleGetMapping))
 	s.mux.HandleFunc("GET /traces/{fingerprint}", deprecated(s.handleGetTrace))
 	s.mux.HandleFunc("GET /healthz", deprecated(s.handleHealthz))
+
+	s.recoverFromQueue()
+	go s.schedule()
 	return s
 }
 
@@ -138,18 +190,341 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // maxCampaigns bounds retained campaign states (running ones never count
 // against the bound — they are skipped by eviction). maxCampaignJobs
-// bounds one request's job count and maxRunning the concurrently
-// executing campaigns; both keep a hostile client from pinning the
-// daemon's memory or cores with cheap POSTs.
+// bounds one request's job count and maxRunning is the default cap on
+// concurrently executing campaigns; both keep a hostile client from
+// pinning the daemon's memory or cores with cheap POSTs.
+// retryAfterSeconds is the Retry-After hint on 429/503 rejections.
 const (
-	maxCampaigns    = 64
-	maxCampaignJobs = 256
-	maxRunning      = 8
+	maxCampaigns      = 64
+	maxCampaignJobs   = 256
+	maxRunning        = 8
+	retryAfterSeconds = 10
 )
 
 // drain blocks until every in-flight campaign goroutine has finished;
 // call after cancelling the base context.
 func (s *server) drain() { s.wg.Wait() }
+
+// beginDrain flips the daemon into shutdown mode: new campaign
+// submissions are refused with 503 + Retry-After instead of accepting
+// work the dying process would lose (or strand in the queue until the
+// next boot).
+func (s *server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// --- queue-driven execution -------------------------------------------
+
+// campaignPayload is what a campaign job carries through the queue: the
+// validated request plus the resolved seed. Specs rebuild from it
+// deterministically, which is what makes a recovered job identical to
+// the one that was interrupted.
+type campaignPayload struct {
+	Request campaignRequest `json:"request"`
+	Seed    int64           `json:"seed"`
+}
+
+// recoverFromQueue rebuilds campaign states for every job the queue
+// retained across a restart: pending jobs (including re-enqueued
+// interrupted ones) appear as "queued" and are picked up by the
+// scheduler; terminal jobs keep answering GET with their recorded
+// outcome.
+func (s *server) recoverFromQueue() {
+	for _, job := range s.q.Jobs() {
+		st := s.stateFromJob(job)
+		if st == nil {
+			continue
+		}
+		s.campaigns[job.ID] = st
+		s.order = append(s.order, job.ID)
+		if job.Recovered {
+			s.logf("campaign %s: recovered from queue (attempt %d)", job.ID, job.Attempts+1)
+		}
+	}
+}
+
+// stateFromJob rebuilds a campaign's in-memory state from its queue
+// record — used at boot recovery and when an idempotent replay hits a
+// job whose state was evicted. Returns nil for in-flight states, which
+// always have a live state already.
+func (s *server) stateFromJob(job queue.Job) *campaignState {
+	var status string
+	switch job.State {
+	case queue.StateSubmitted:
+		status = "queued"
+	case queue.StateDone:
+		status = "done"
+	case queue.StateFailed:
+		status = "failed"
+	case queue.StateCancelled:
+		status = "cancelled"
+	default:
+		return nil
+	}
+	specList, total := s.specsFromPayload(job.Payload)
+	st := newCampaignState(job.ID, status, specList, total)
+	st.reportRaw = job.Result
+	st.errMsg = job.Error
+	if status == "done" {
+		// done/total mirror the job count for finished work.
+		st.done = st.total
+	}
+	return st
+}
+
+// specsFromPayload rebuilds a queued campaign's specs; on any error it
+// returns no specs (the job will fail cleanly when launched).
+func (s *server) specsFromPayload(payload json.RawMessage) ([]campaign.Spec, int) {
+	var p campaignPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, 0
+	}
+	specList, err := s.buildSpecs(p.Request, p.Seed)
+	if err != nil {
+		return nil, 0
+	}
+	return specList, len(specList)
+}
+
+// schedule drains the queue into the worker pool, at most
+// cfg.maxRunning campaigns at a time. It wakes on submissions and on
+// freed slots, and exits with the base context.
+func (s *server) schedule() {
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-s.q.Ready():
+		case <-s.slotFree:
+		}
+		s.launchReady()
+	}
+}
+
+// launchReady starts queued campaigns until the running limit or an
+// empty queue stops it.
+func (s *server) launchReady() {
+	for {
+		s.mu.Lock()
+		if s.draining || s.running >= s.cfg.maxRunning {
+			s.mu.Unlock()
+			return
+		}
+		s.running++ // reserve the slot before the dequeue commits
+		s.mu.Unlock()
+
+		job, ok, err := s.q.Dequeue()
+		if err != nil || !ok {
+			s.mu.Lock()
+			s.running--
+			s.mu.Unlock()
+			if err != nil && !errors.Is(err, context.Canceled) {
+				s.logf("scheduler: dequeue: %v", err)
+			}
+			return
+		}
+		s.launch(job)
+	}
+}
+
+// freeSlot releases a running slot and wakes the scheduler.
+func (s *server) freeSlot() {
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	select {
+	case s.slotFree <- struct{}{}:
+	default:
+	}
+}
+
+// launch runs one dequeued campaign job asynchronously.
+func (s *server) launch(job queue.Job) {
+	var p campaignPayload
+	if err := json.Unmarshal(job.Payload, &p); err != nil {
+		s.failJob(job.ID, fmt.Errorf("corrupt queue payload: %w", err))
+		return
+	}
+	specList, err := s.buildSpecs(p.Request, p.Seed)
+	if err != nil {
+		s.failJob(job.ID, fmt.Errorf("queued request no longer builds: %w", err))
+		return
+	}
+
+	s.mu.Lock()
+	st := s.campaigns[job.ID]
+	if st == nil {
+		st = newCampaignState(job.ID, "queued", specList, len(specList))
+		s.campaigns[job.ID] = st
+		s.order = append(s.order, job.ID)
+	}
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	st.mu.Lock()
+	st.status = "running"
+	st.specs = specList
+	st.total = len(specList)
+	st.cancel = cancel
+	// A DELETE may have raced the dequeue: it saw "queued", lost the
+	// queue-side cancel, flagged cancelRequested and was promised
+	// "cancelling" — honor that promise now that a cancel func exists.
+	requested := st.cancelRequested
+	st.bumpLocked()
+	st.mu.Unlock()
+	if requested {
+		cancel()
+	}
+
+	cfg := campaign.Config{
+		Workers: p.Request.Workers,
+		Retries: s.cfg.retries,
+		Seed:    p.Seed,
+		OnEvent: st.onEvent,
+		Wrap:    s.storeWrap,
+		OnCheckpoint: func(cp campaign.Checkpoint) {
+			data, err := json.Marshal(cp)
+			if err != nil {
+				s.logf("campaign %s: encode checkpoint: %v", job.ID, err)
+				return
+			}
+			if err := s.q.Checkpoint(job.ID, data); err != nil {
+				s.logf("campaign %s: persist checkpoint: %v", job.ID, err)
+			}
+		},
+	}
+	if len(job.Checkpoint) > 0 {
+		var cp campaign.Checkpoint
+		if err := json.Unmarshal(job.Checkpoint, &cp); err != nil {
+			s.logf("campaign %s: corrupt checkpoint ignored: %v", job.ID, err)
+		} else if cp.Seed == p.Seed {
+			cfg.Resume = &cp
+			cfg.Restore = s.restoreFromStore
+			s.logf("campaign %s: resuming from checkpoint (%d/%d jobs done)",
+				job.ID, len(cp.Jobs), len(specList))
+		}
+	}
+	if s.cfg.tracing {
+		cfg.TraceSink = s.traceSink
+	}
+	// The operator's -workers flag is a ceiling, not a default a client
+	// may exceed.
+	if cfg.Workers <= 0 || cfg.Workers > s.cfg.workers {
+		cfg.Workers = s.cfg.workers
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		rep, err := s.runCampaign(ctx, specList, cfg)
+		s.freeSlot()
+		s.finishJob(job.ID, st, specList, rep, err)
+	}()
+	s.logf("campaign %s: started (%d jobs, attempt %d)", job.ID, len(specList), job.Attempts)
+}
+
+// failJob marks a job failed before it ever ran (corrupt payload).
+func (s *server) failJob(id string, err error) {
+	s.freeSlot()
+	if qerr := s.q.Fail(id, err.Error()); qerr != nil {
+		s.logf("campaign %s: %v (and queue fail failed: %v)", id, err, qerr)
+	}
+	s.mu.Lock()
+	st := s.campaigns[id]
+	s.mu.Unlock()
+	if st != nil {
+		st.mu.Lock()
+		st.status = "failed"
+		st.errMsg = err.Error()
+		st.bumpLocked()
+		st.mu.Unlock()
+	}
+	s.logf("campaign %s: failed: %v", id, err)
+}
+
+// finishJob records a completed campaign run in the queue and the
+// in-memory state. Shutdown is the deliberate exception: the queue
+// entry is left in flight so the next boot recovers and resumes it.
+func (s *server) finishJob(id string, st *campaignState, specList []campaign.Spec, rep *campaign.Report, err error) {
+	st.mu.Lock()
+	cancelled := st.cancelRequested
+	st.mu.Unlock()
+
+	status := "done"
+	var errMsg string
+	switch {
+	case err == nil:
+		if qerr := s.q.Finish(id, s.encodeReport(rep)); qerr != nil {
+			s.logf("campaign %s: queue finish: %v", id, qerr)
+		}
+	case cancelled:
+		status, errMsg = "cancelled", "cancelled by client"
+		if qerr := s.q.Cancelled(id, errMsg); qerr != nil {
+			s.logf("campaign %s: queue cancel: %v", id, qerr)
+		}
+	case s.baseCtx.Err() != nil:
+		// Daemon shutdown: the job stays in flight in the WAL — with its
+		// last checkpoint — and the next boot re-enqueues and resumes it.
+		status, errMsg = "failed", err.Error()
+	default:
+		status, errMsg = "failed", err.Error()
+		if qerr := s.q.Fail(id, errMsg); qerr != nil {
+			s.logf("campaign %s: queue fail: %v", id, qerr)
+		}
+	}
+
+	st.mu.Lock()
+	st.report = rep
+	st.status = status
+	st.errMsg = errMsg
+	st.bumpLocked()
+	st.mu.Unlock()
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	s.logf("campaign %s: %s (%d jobs)", id, status, len(specList))
+}
+
+// encodeReport marshals the API report shape for the queue's terminal
+// record, so a restarted daemon still serves the report.
+func (s *server) encodeReport(rep *campaign.Report) json.RawMessage {
+	if rep == nil {
+		return nil
+	}
+	data, err := json.Marshal(reportToJSON(rep))
+	if err != nil {
+		s.logf("encode report: %v", err)
+		return nil
+	}
+	return data
+}
+
+// restoreFromStore replays a checkpointed job's outcome from the
+// content-addressed result store — the same records storeWrap caches.
+// A miss (memory-only store restarted, record evicted) re-runs the job,
+// which the deterministic seeds make equivalent.
+func (s *server) restoreFromStore(spec campaign.Spec, jc campaign.JobCheckpoint) (campaign.Outcome, bool) {
+	fp := jc.MachineFingerprint
+	if fp == "" {
+		fp = spec.MachineFingerprint()
+	}
+	rec, ok, err := s.st.Get(fp)
+	if err != nil || !ok {
+		return campaign.Outcome{}, false
+	}
+	return campaign.Outcome{
+		Result: &core.Result{
+			Mapping:         rec.Mapping,
+			TotalSimSeconds: rec.SimSeconds,
+			Measurements:    rec.Measurements,
+		},
+		Match:    rec.Match,
+		Attempts: jc.Attempts,
+	}, true
+}
 
 // --- request/response shapes -----------------------------------------
 
@@ -217,6 +592,8 @@ type campaignRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Workers overrides the daemon's worker cap for this campaign.
 	Workers int `json:"workers,omitempty"`
+	// Priority orders the queue: higher dequeues first (default 0).
+	Priority int `json:"priority,omitempty"`
 }
 
 func (s *server) buildSpecs(req campaignRequest, seed int64) ([]campaign.Spec, error) {
@@ -277,6 +654,16 @@ func (s *server) buildSpecs(req campaignRequest, seed int64) ([]campaign.Spec, e
 // --- handlers ---------------------------------------------------------
 
 func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		httpError(w, http.StatusServiceUnavailable, codeDraining,
+			"daemon is shutting down; resubmit to its successor")
+		return
+	}
+
 	// A campaign request is small; anything bigger is hostile or broken.
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	var req campaignRequest
@@ -294,66 +681,154 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	if s.running >= maxRunning {
-		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, codeOverloaded,
-			"%d campaigns already running (limit %d); retry after one finishes", maxRunning, maxRunning)
+	// Idempotency-Key is a /v1 contract; the deprecated unversioned
+	// alias ignores it (see MIGRATION.md).
+	var opts queue.SubmitOptions
+	opts.Priority = req.Priority
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		opts.IdempotencyKey = r.Header.Get("Idempotency-Key")
+	}
+
+	payload, err := json.Marshal(campaignPayload{Request: req, Seed: seed})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
 	}
-	s.running++
-	s.nextID++
-	id := fmt.Sprintf("c%d", s.nextID)
-	st := newCampaignState(id, specList)
-	s.campaigns[id] = st
-	s.order = append(s.order, id)
-	s.evictLocked()
-	s.mu.Unlock()
+	job, dup, err := s.q.Submit(payload, opts)
+	if errors.Is(err, queue.ErrFull) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		httpError(w, http.StatusTooManyRequests, codeOverloaded,
+			"queue is full (%d pending); retry later", s.q.StatsSnapshot().Pending)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
 
-	cfg := campaign.Config{
-		Workers: req.Workers,
-		Retries: s.retries,
-		Seed:    seed,
-		OnEvent: st.onEvent,
-		Wrap:    s.storeWrap,
-	}
-	if s.tracing {
-		cfg.TraceSink = s.traceSink
-	}
-	// The operator's -workers flag is a ceiling, not a default a client
-	// may exceed.
-	if cfg.Workers <= 0 || cfg.Workers > s.workers {
-		cfg.Workers = s.workers
-	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		rep, err := s.runCampaign(s.baseCtx, specList, cfg)
+	status := "queued"
+	if dup {
+		// The original submission's campaign answers for the duplicate.
+		// Its in-memory state may have been evicted while the queue still
+		// retains the job — rebuild it so the returned URL resolves.
+		w.Header().Set("Idempotency-Replayed", "true")
 		s.mu.Lock()
-		s.running--
-		s.mu.Unlock()
-		st.mu.Lock()
-		st.report = rep
-		if err != nil {
-			st.status = "failed"
-			st.errMsg = err.Error()
-		} else {
-			st.status = "done"
+		st := s.campaigns[job.ID]
+		if st == nil {
+			st = s.stateFromJob(job)
+			if st != nil {
+				s.campaigns[job.ID] = st
+				s.order = append(s.order, job.ID)
+			}
 		}
-		st.bumpLocked()
-		status := st.status
-		st.mu.Unlock()
-		s.logf("campaign %s: %s (%d jobs)", id, status, len(specList))
-	}()
+		s.mu.Unlock()
+		if st != nil {
+			st.mu.Lock()
+			status = st.status
+			st.mu.Unlock()
+		}
+	} else {
+		// The scheduler races this insert: Submit already woke it, and
+		// launch() may have created (and advanced) the state first. Never
+		// overwrite an existing state — that would orphan the one the
+		// running campaign updates.
+		s.mu.Lock()
+		if s.campaigns[job.ID] == nil {
+			s.campaigns[job.ID] = newCampaignState(job.ID, "queued", specList, len(specList))
+			s.order = append(s.order, job.ID)
+			s.evictLocked()
+		}
+		s.mu.Unlock()
+		s.logf("campaign %s: queued %d jobs (priority %d)", job.ID, len(specList), job.Priority)
+	}
 
-	s.logf("campaign %s: accepted %d jobs", id, len(specList))
-	w.Header().Set("Location", "/v1/campaigns/"+id)
+	w.Header().Set("Location", "/v1/campaigns/"+job.ID)
 	writeJSON(w, http.StatusAccepted, map[string]any{
-		"id":     id,
-		"status": "running",
+		"id":     job.ID,
+		"status": status,
 		"jobs":   len(specList),
-		"url":    "/v1/campaigns/" + id,
-		"events": "/v1/campaigns/" + id + "/events",
+		"url":    "/v1/campaigns/" + job.ID,
+		"events": "/v1/campaigns/" + job.ID + "/events",
+	})
+}
+
+// handleCancelCampaign removes a queued campaign or stops a running one
+// via its context (the work notices between measurement batches). The
+// response reports the resulting state: "cancelled" for queued work,
+// "cancelling" while a running campaign unwinds.
+func (s *server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "no campaign %q", id)
+		return
+	}
+
+	st.mu.Lock()
+	status := st.status
+	cancel := st.cancel
+	if status == "running" {
+		st.cancelRequested = true
+	}
+	st.mu.Unlock()
+
+	switch status {
+	case "queued":
+		if _, err := s.q.Cancel(id, "cancelled by client"); err != nil {
+			// The scheduler may have dequeued it in the window since we
+			// read the status; treat as the running case below.
+			if !errors.Is(err, queue.ErrBadState) {
+				httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+				return
+			}
+			st.mu.Lock()
+			st.cancelRequested = true
+			cancel = st.cancel
+			st.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "status": "cancelling"})
+			return
+		}
+		st.mu.Lock()
+		st.status = "cancelled"
+		st.errMsg = "cancelled by client"
+		st.bumpLocked()
+		st.mu.Unlock()
+		s.logf("campaign %s: cancelled while queued", id)
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "cancelled"})
+	case "running":
+		if cancel != nil {
+			cancel()
+		}
+		s.logf("campaign %s: cancellation requested", id)
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "status": "cancelling"})
+	default:
+		httpError(w, http.StatusConflict, codeConflict, "campaign %s already %s", id, status)
+	}
+}
+
+// handleGetQueue reports scheduler and queue health: backlog depth,
+// running campaigns, capacity and the drain flag.
+func (s *server) handleGetQueue(w http.ResponseWriter, r *http.Request) {
+	qs := s.q.StatsSnapshot()
+	s.mu.Lock()
+	running, draining := s.running, s.draining
+	maxRun := s.cfg.maxRunning
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"depth":       qs.Pending,
+		"capacity":    qs.Capacity,
+		"running":     running,
+		"max_running": maxRun,
+		"draining":    draining,
+		"done":        qs.Done,
+		"failed":      qs.Failed,
+		"cancelled":   qs.Cancelled,
+		"recovered":   qs.Recovered,
 	})
 }
 
@@ -494,7 +969,7 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 		if len(pending) > 0 {
 			fl.Flush()
 		}
-		if status != "running" {
+		if terminalStatus(status) {
 			final := map[string]any{"status": status, "done": done, "total": total}
 			if errMsg != "" {
 				final["err"] = errMsg
@@ -534,7 +1009,10 @@ func (s *server) evictLocked() {
 		evictable := false
 		if over > 0 {
 			st.mu.Lock()
-			evictable = st.status != "running"
+			// Only terminal states may go: evicting a queued state would
+			// orphan a backlogged job — unreachable by GET/DELETE while
+			// the scheduler still intends to run it.
+			evictable = terminalStatus(st.status)
 			st.mu.Unlock()
 		}
 		if evictable {
@@ -656,7 +1134,7 @@ func (s *server) handleGetCampaignTrace(w http.ResponseWriter, r *http.Request) 
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":      id,
-		"tracing": s.tracing,
+		"tracing": s.cfg.tracing,
 		"traces":  index,
 	})
 }
@@ -690,10 +1168,13 @@ func (s *server) serveTrace(w http.ResponseWriter, fp string) {
 
 // jobJSON is one job row in a campaign status response.
 type jobJSON struct {
-	Name        string  `json:"name"`
-	OK          bool    `json:"ok"`
-	Match       bool    `json:"match"`
-	Cached      bool    `json:"cached"`
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Match  bool   `json:"match"`
+	Cached bool   `json:"cached"`
+	// Resumed marks a job restored from a recovery checkpoint instead of
+	// executed in this process.
+	Resumed     bool    `json:"resumed,omitempty"`
 	Attempts    int     `json:"attempts"`
 	SimSeconds  float64 `json:"sim_s,omitempty"`
 	WallSeconds float64 `json:"wall_s"`
@@ -717,6 +1198,7 @@ type reportJSON struct {
 	Failed      int            `json:"failed"`
 	Matched     int            `json:"matched"`
 	Cached      int            `json:"cached"`
+	Resumed     int            `json:"resumed,omitempty"`
 	SuccessRate float64        `json:"success_rate"`
 	WallSeconds float64        `json:"wall_s"`
 	SimSeconds  campaign.Stats `json:"sim_s"`
@@ -727,13 +1209,13 @@ type reportJSON struct {
 func reportToJSON(rep *campaign.Report) *reportJSON {
 	out := &reportJSON{
 		Total: rep.Total, Succeeded: rep.Succeeded, Failed: rep.Failed,
-		Matched: rep.Matched, Cached: rep.Cached,
+		Matched: rep.Matched, Cached: rep.Cached, Resumed: rep.Resumed,
 		SuccessRate: rep.SuccessRate, WallSeconds: rep.WallSeconds, SimSeconds: rep.Sim,
 	}
 	for _, jr := range rep.Jobs {
 		j := jobJSON{
 			Name: jr.Name, OK: jr.Err == nil, Match: jr.Match, Cached: jr.Cached,
-			Attempts: jr.Attempts, WallSeconds: jr.WallSeconds,
+			Resumed: jr.Resumed, Attempts: jr.Attempts, WallSeconds: jr.WallSeconds,
 			MappingFingerprint: jr.Fingerprint,
 			MachineFingerprint: jr.MachineFingerprint,
 		}
@@ -773,6 +1255,9 @@ func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.report != nil {
 		resp["report"] = reportToJSON(st.report)
+	} else if len(st.reportRaw) > 0 {
+		// Recovered from the queue's terminal record (previous process).
+		resp["report"] = st.reportRaw
 	}
 	if st.errMsg != "" {
 		resp["err"] = st.errMsg
@@ -807,6 +1292,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":    "ok",
 		"campaigns": n,
 		"store":     s.st.StatsSnapshot(),
+		"queue":     s.q.StatsSnapshot(),
 	})
 }
 
@@ -825,6 +1311,8 @@ const (
 	codeBadRequest = "bad_request"
 	codeNotFound   = "not_found"
 	codeOverloaded = "overloaded"
+	codeDraining   = "draining"
+	codeConflict   = "conflict"
 	codeInternal   = "internal"
 )
 

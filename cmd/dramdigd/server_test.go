@@ -6,20 +6,65 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"dramdig/internal/campaign"
+	"dramdig/internal/queue"
 	"dramdig/internal/store"
 )
 
 func newTestServer(t *testing.T) *server {
 	t.Helper()
+	return newTestServerWith(t, queue.Config{}, serverConfig{})
+}
+
+// newTestServerWith builds a daemon handler over a fresh store and the
+// given queue/server configuration, with lifecycle cleanup: the base
+// context dies with the test, stopping the scheduler goroutine.
+func newTestServerWith(t *testing.T, qcfg queue.Config, scfg serverConfig) *server {
+	t.Helper()
 	st, err := store.Open(store.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(context.Background(), st, 2, 1, false, t.Logf)
+	q, err := queue.Open(qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if scfg.workers == 0 {
+		scfg.workers = 2
+	}
+	if scfg.retries == 0 {
+		scfg.retries = 1
+	}
+	if scfg.logf == nil {
+		scfg.logf = testLogf(t)
+	}
+	return newServer(ctx, st, q, scfg)
+}
+
+// testLogf adapts t.Logf for goroutines that may outlive the test body
+// (scheduler, campaign completions): once the test's cleanup phase
+// starts, messages are dropped instead of panicking the harness.
+func testLogf(t *testing.T) func(string, ...any) {
+	var mu sync.Mutex
+	finished := false
+	t.Cleanup(func() {
+		mu.Lock()
+		finished = true
+		mu.Unlock()
+	})
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !finished {
+			t.Logf(format, args...)
+		}
+	}
 }
 
 func doJSON(t *testing.T, srv http.Handler, method, path, body string) (int, map[string]any) {
@@ -39,7 +84,8 @@ func doJSON(t *testing.T, srv http.Handler, method, path, body string) (int, map
 	return w.Code, m
 }
 
-// waitDone polls the campaign endpoint until it leaves "running".
+// waitDone polls the campaign endpoint until it reaches a terminal
+// status (queued and running are both transient now).
 func waitDone(t *testing.T, srv http.Handler, id string) map[string]any {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
@@ -48,7 +94,7 @@ func waitDone(t *testing.T, srv http.Handler, id string) map[string]any {
 		if code != http.StatusOK {
 			t.Fatalf("GET /campaigns/%s: %d %v", id, code, m)
 		}
-		if m["status"] != "running" {
+		if status, _ := m["status"].(string); terminalStatus(status) {
 			return m
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -202,14 +248,19 @@ func TestDaemonEndToEnd(t *testing.T) {
 }
 
 // TestDaemonShutdownCancelsCampaigns: cancelling the base context fails
-// in-flight jobs and drain() returns.
+// in-flight jobs and drain() returns — while the queue keeps the job in
+// flight for the next boot instead of marking it failed.
 func TestDaemonShutdownCancelsCampaigns(t *testing.T) {
 	st, err := store.Open(store.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	q, err := queue.Open(queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	srv := newServer(ctx, st, 2, 0, false, t.Logf)
+	srv := newServer(ctx, st, q, serverConfig{workers: 2, retries: -1, logf: t.Logf})
 
 	started := make(chan struct{})
 	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
@@ -230,9 +281,15 @@ func TestDaemonShutdownCancelsCampaigns(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("drain hung after context cancellation")
 	}
-	final := doJSONmap(t, srv, "GET", "/campaigns/"+m["id"].(string))
+	id := m["id"].(string)
+	final := doJSONmap(t, srv, "GET", "/campaigns/"+id)
 	if final["status"] != "failed" {
 		t.Errorf("cancelled campaign status %v, want failed", final["status"])
+	}
+	// The queue deliberately still counts the job as in flight — that is
+	// the record recovery resumes from at the next boot.
+	if job, ok := q.Get(id); !ok || !job.State.InFlight() {
+		t.Errorf("queue job after shutdown: ok=%v state=%v, want in-flight", ok, job.State)
 	}
 }
 
@@ -275,31 +332,62 @@ func TestDaemonCampaignEviction(t *testing.T) {
 	}
 }
 
-// TestDaemonRunningCampaignCap: the daemon refuses a new campaign while
-// maxRunning are still executing, and accepts again after they drain.
-func TestDaemonRunningCampaignCap(t *testing.T) {
-	srv := newTestServer(t)
+// TestDaemonBackpressure: campaigns beyond the running limit queue up
+// (202, not 503); once the pending backlog hits the queue capacity the
+// daemon answers 429 with a Retry-After hint, and accepts again after
+// the backlog drains.
+func TestDaemonBackpressure(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{Capacity: 2}, serverConfig{maxRunning: 1})
 	release := make(chan struct{})
+	started := make(chan string, 8)
 	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		started <- specs[0].Name
 		<-release
 		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
 	}
-	ids := make([]string, 0, maxRunning)
-	for i := 0; i < maxRunning; i++ {
+
+	// First campaign occupies the single running slot...
+	code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST 0: %d %v", code, m)
+	}
+	ids := []string{m["id"].(string)}
+	<-started // ...and has left the queue before the backlog fills.
+
+	// Two more fill the pending backlog; both are accepted as queued.
+	for i := 1; i <= 2; i++ {
 		code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`)
 		if code != http.StatusAccepted {
 			t.Fatalf("POST %d: %d %v", i, code, m)
 		}
 		ids = append(ids, m["id"].(string))
 	}
-	if code, m := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`); code != http.StatusServiceUnavailable {
-		t.Fatalf("over-cap POST: %d %v, want 503", code, m)
+
+	// The backlog is full: 429, overloaded envelope, Retry-After hint.
+	r := httptest.NewRequest("POST", "/v1/campaigns", strings.NewReader(`{"machines":[1]}`))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST: %d %s, want 429", w.Code, w.Body.String())
 	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var envl map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &envl); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := envl["error"].(map[string]any); e == nil || e["code"] != "overloaded" {
+		t.Errorf("429 envelope: %v", envl)
+	}
+
 	close(release)
 	for _, id := range ids {
-		waitDone(t, srv, id)
+		if final := waitDone(t, srv, id); final["status"] != "done" {
+			t.Errorf("campaign %s: %v", id, final["status"])
+		}
 	}
 	if code, _ := doJSON(t, srv, "POST", "/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
-		t.Errorf("POST after drain rejected: %d", code)
+		t.Errorf("POST after backlog drained rejected: %d", code)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"dramdig/internal/core"
+	"dramdig/internal/queue"
 	"dramdig/internal/store"
 	"dramdig/internal/trace"
 )
@@ -24,7 +25,13 @@ func TestDaemonTraceEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(context.Background(), st, 2, 1, true, t.Logf)
+	q, err := queue.Open(queue.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	srv := newServer(ctx, st, q, serverConfig{workers: 2, retries: 1, tracing: true, logf: t.Logf})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dramdig/internal/campaign"
+	"dramdig/internal/queue"
 )
 
 // stubRunner makes every campaign finish instantly with per-job events.
@@ -104,12 +105,14 @@ func TestV1Routes(t *testing.T) {
 }
 
 // TestV1ErrorEnvelope covers the remaining error classes: malformed
-// bodies, job-count bombs and the overload rejection, each in the
+// bodies, job-count bombs and the queue-full rejection, each in the
 // uniform envelope.
 func TestV1ErrorEnvelope(t *testing.T) {
-	srv := newTestServer(t)
+	srv := newTestServerWith(t, queue.Config{Capacity: 1}, serverConfig{maxRunning: 1})
 	release := make(chan struct{})
+	started := make(chan struct{}, 4)
 	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		started <- struct{}{}
 		<-release
 		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
 	}
@@ -132,15 +135,18 @@ func TestV1ErrorEnvelope(t *testing.T) {
 		envelope(t, m, tc.want)
 	}
 
-	// Fill the running slots, then assert the overload envelope.
-	for i := 0; i < maxRunning; i++ {
-		if code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
-			t.Fatalf("POST %d: %d %v", i, code, m)
-		}
+	// Occupy the single running slot, fill the single-entry backlog,
+	// then assert the overload envelope on the 429.
+	if code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
+		t.Fatalf("POST running: %d %v", code, m)
+	}
+	<-started
+	if code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
+		t.Fatalf("POST queued: %d %v", code, m)
 	}
 	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`)
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("over-cap POST: %d %v", code, m)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST: %d %v", code, m)
 	}
 	envelope(t, m, "overloaded")
 }
@@ -375,5 +381,201 @@ func TestV1EventsAfterCompletion(t *testing.T) {
 		if names[i] != want[i] {
 			t.Fatalf("events %v, want %v", names, want)
 		}
+	}
+}
+
+// postJSON issues a request with headers and decodes the JSON response.
+func postJSON(t *testing.T, srv http.Handler, method, path, body string, hdr map[string]string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, path, w.Body.String())
+	}
+	return w, m
+}
+
+// TestV1Idempotency: resubmitting a campaign with the same
+// Idempotency-Key returns the original campaign (marked as a replay)
+// instead of enqueueing a duplicate — on /v1 only; the deprecated
+// unversioned alias deliberately ignores the header.
+func TestV1Idempotency(t *testing.T) {
+	srv := newTestServer(t)
+	stubRunner(t, srv)
+	hdr := map[string]string{"Idempotency-Key": "nightly-sweep"}
+
+	w1, m1 := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1,2]}`, hdr)
+	if w1.Code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", w1.Code, m1)
+	}
+	if w1.Header().Get("Idempotency-Replayed") != "" {
+		t.Error("first submission marked as a replay")
+	}
+	id := m1["id"].(string)
+	waitDone(t, srv, id)
+
+	w2, m2 := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1,2]}`, hdr)
+	if w2.Code != http.StatusAccepted || m2["id"] != id {
+		t.Fatalf("duplicate POST: %d %v, want replay of %s", w2.Code, m2, id)
+	}
+	if w2.Header().Get("Idempotency-Replayed") != "true" {
+		t.Error("replayed submission lacks Idempotency-Replayed header")
+	}
+	if m2["status"] != "done" {
+		t.Errorf("replayed status %v, want the original's terminal status", m2["status"])
+	}
+
+	// A different key is a different campaign.
+	_, m3 := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1,2]}`,
+		map[string]string{"Idempotency-Key": "other"})
+	if m3["id"] == id {
+		t.Error("distinct keys shared a campaign")
+	}
+
+	// The unversioned alias has no idempotency contract: same key, new
+	// campaign (see MIGRATION.md).
+	_, m4 := postJSON(t, srv, "POST", "/campaigns", `{"machines":[1,2]}`, hdr)
+	if m4["id"] == id {
+		t.Error("deprecated alias honored Idempotency-Key")
+	}
+}
+
+// TestV1QueueEndpoint: GET /v1/queue reports depth, running, capacity
+// and the drain flag.
+func TestV1QueueEndpoint(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{Capacity: 7}, serverConfig{maxRunning: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		started <- struct{}{}
+		<-release
+		return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+	}
+	defer close(release)
+
+	code, m := doJSON(t, srv, "GET", "/v1/queue", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/queue: %d %v", code, m)
+	}
+	if m["depth"].(float64) != 0 || m["capacity"].(float64) != 7 || m["running"].(float64) != 0 {
+		t.Fatalf("idle queue: %v", m)
+	}
+	if m["draining"].(bool) || m["max_running"].(float64) != 1 {
+		t.Fatalf("idle queue: %v", m)
+	}
+
+	if code, _ := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
+		t.Fatal("POST")
+	}
+	<-started
+	if code, _ := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`); code != http.StatusAccepted {
+		t.Fatal("POST")
+	}
+	_, m = doJSON(t, srv, "GET", "/v1/queue", "")
+	if m["depth"].(float64) != 1 || m["running"].(float64) != 1 {
+		t.Fatalf("busy queue: %v", m)
+	}
+}
+
+// TestV1CancelCampaign: DELETE dequeues a queued campaign, stops a
+// running one through its context, 409s on terminal ones and 404s on
+// unknown IDs.
+func TestV1CancelCampaign(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{maxRunning: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	srv.runCampaign = func(ctx context.Context, specs []campaign.Spec, cfg campaign.Config) (*campaign.Report, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &campaign.Report{Total: len(specs), Succeeded: len(specs)}, nil
+		case <-ctx.Done():
+			return &campaign.Report{Total: len(specs)}, ctx.Err()
+		}
+	}
+
+	// One running campaign, one stuck behind it in the queue.
+	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", code, m)
+	}
+	runningID := m["id"].(string)
+	<-started
+	code, m = doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[2]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", code, m)
+	}
+	queuedID := m["id"].(string)
+
+	// Cancel the queued one: immediate, terminal, never runs.
+	code, m = doJSON(t, srv, "DELETE", "/v1/campaigns/"+queuedID, "")
+	if code != http.StatusOK || m["status"] != "cancelled" {
+		t.Fatalf("DELETE queued: %d %v", code, m)
+	}
+	if final := waitDone(t, srv, queuedID); final["status"] != "cancelled" {
+		t.Errorf("queued campaign after cancel: %v", final["status"])
+	}
+
+	// Cancel the running one: context cancellation unwinds it.
+	code, m = doJSON(t, srv, "DELETE", "/v1/campaigns/"+runningID, "")
+	if code != http.StatusAccepted || m["status"] != "cancelling" {
+		t.Fatalf("DELETE running: %d %v", code, m)
+	}
+	if final := waitDone(t, srv, runningID); final["status"] != "cancelled" {
+		t.Errorf("running campaign after cancel: %v", final["status"])
+	}
+
+	// Terminal campaigns conflict; unknown IDs are not found.
+	code, m = doJSON(t, srv, "DELETE", "/v1/campaigns/"+runningID, "")
+	if code != http.StatusConflict {
+		t.Fatalf("DELETE terminal: %d %v", code, m)
+	}
+	envelope(t, m, "conflict")
+	code, m = doJSON(t, srv, "DELETE", "/v1/campaigns/c999", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown: %d %v", code, m)
+	}
+	envelope(t, m, "not_found")
+	close(release)
+}
+
+// TestV1Draining: once the daemon begins its shutdown drain, new
+// submissions get 503 + Retry-After while reads keep answering.
+func TestV1Draining(t *testing.T) {
+	srv := newTestServer(t)
+	stubRunner(t, srv)
+	code, m := doJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d %v", code, m)
+	}
+	id := m["id"].(string)
+	waitDone(t, srv, id)
+
+	srv.beginDrain()
+	w, m := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1]}`, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: %d %v, want 503", w.Code, m)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	envelope(t, m, "draining")
+
+	// Reads still answer during the drain.
+	if code, _ := doJSON(t, srv, "GET", "/v1/campaigns/"+id, ""); code != http.StatusOK {
+		t.Errorf("GET during drain: %d", code)
+	}
+	if code, qm := doJSON(t, srv, "GET", "/v1/queue", ""); code != http.StatusOK || qm["draining"] != true {
+		t.Errorf("GET /v1/queue during drain: %d %v", code, qm)
 	}
 }

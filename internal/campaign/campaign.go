@@ -182,9 +182,10 @@ type Event struct {
 	Attempt int `json:"attempt"`
 	// Err carries the failure message (attempt_failed / job_failed).
 	Err string `json:"err,omitempty"`
-	// Match, Cached and SimSeconds describe a finished job.
+	// Match, Cached, Resumed and SimSeconds describe a finished job.
 	Match      bool    `json:"match,omitempty"`
 	Cached     bool    `json:"cached,omitempty"`
+	Resumed    bool    `json:"resumed,omitempty"`
 	SimSeconds float64 `json:"sim_s,omitempty"`
 }
 
@@ -197,9 +198,16 @@ type Outcome struct {
 	// Cached marks an outcome served by a wrapper's cache rather than a
 	// pipeline run.
 	Cached bool
+	// Resumed marks an outcome restored from a resume checkpoint rather
+	// than executed in this run.
+	Resumed bool
 	// Attempts is the number of pipeline attempts executed (0 for a
 	// cache hit).
 	Attempts int
+	// ToolSeed is the derived per-(job, attempt) seed of the successful
+	// attempt (0 for cached or failed outcomes); it lands in the job's
+	// checkpoint entry.
+	ToolSeed int64
 	// Err is the last attempt's failure, nil on success.
 	Err error
 }
@@ -230,6 +238,20 @@ type Config struct {
 	// tracing that attempt; a sink error fails the attempt. The engine
 	// closes the sink when the attempt finishes, success or not.
 	TraceSink func(spec Spec, index, attempt int) (io.WriteCloser, error)
+	// OnCheckpoint, when non-nil, receives the cumulative Checkpoint
+	// after every successfully completed job (restored jobs included).
+	// Calls are serialized and each checkpoint extends the previous one,
+	// so a durable scheduler can append them to its journal directly.
+	OnCheckpoint func(Checkpoint)
+	// Resume, when non-nil, is a checkpoint from an interrupted run of
+	// the same campaign: jobs it records as complete are not re-executed
+	// but restored through Restore. Its Seed must match Config.Seed.
+	Resume *Checkpoint
+	// Restore materializes a checkpointed job's outcome — typically from
+	// the content-addressed result store. Returning false re-runs the
+	// job instead; the deterministic per-(job, attempt) seeds make the
+	// re-run produce the result the checkpoint recorded.
+	Restore func(spec Spec, jc JobCheckpoint) (Outcome, bool)
 }
 
 func (c *Config) setDefaults() {
@@ -255,6 +277,10 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("campaign: no specs")
 	}
 	cfg.setDefaults()
+	if cfg.Resume != nil && cfg.Resume.Seed != cfg.Seed {
+		return nil, fmt.Errorf("campaign: resume checkpoint was taken under seed %d, campaign runs seed %d",
+			cfg.Resume.Seed, cfg.Seed)
+	}
 	// More workers than jobs is pure goroutine waste — and Workers may
 	// come from an untrusted request (dramdigd), so clamp hard.
 	if cfg.Workers > len(specs) {
@@ -281,6 +307,7 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (*Report, error) {
 		}()
 	}
 
+	cpr := newCheckpointer(cfg.Seed, cfg.OnCheckpoint)
 	jobs := make(chan int)
 	results := make([]JobResult, len(specs))
 	var wg sync.WaitGroup
@@ -289,7 +316,7 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx] = runJob(ctx, specs[idx], cfg, idx, emit)
+				results[idx] = runJob(ctx, specs[idx], cfg, idx, emit, cpr)
 			}
 		}()
 	}
@@ -314,8 +341,9 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (*Report, error) {
 }
 
 // runJob executes one spec (through the wrapper when configured) and
-// converts the outcome into a JobResult.
-func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event)) JobResult {
+// converts the outcome into a JobResult. Jobs recorded complete in
+// cfg.Resume restore through cfg.Restore instead of executing.
+func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event), cpr *checkpointer) JobResult {
 	name := spec.Name
 	if name == "" {
 		name = spec.Def.Name
@@ -323,12 +351,21 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 	start := time.Now()
 	emit(Event{Kind: EventJobStarted, Job: name, Index: idx})
 
-	run := func() Outcome { return attemptLoop(ctx, spec, cfg, idx, name, emit) }
 	var out Outcome
-	if cfg.Wrap != nil {
-		out = cfg.Wrap(spec, run)
-	} else {
-		out = run()
+	resumed, restoredJC := false, JobCheckpoint{}
+	if jc, ok := cfg.Resume.Lookup(idx); ok && cfg.Restore != nil {
+		if restored, ok := cfg.Restore(spec, jc); ok && restored.Err == nil && restored.Result != nil {
+			restored.Resumed = true
+			out, resumed, restoredJC = restored, true, jc
+		}
+	}
+	if !resumed {
+		run := func() Outcome { return attemptLoop(ctx, spec, cfg, idx, name, emit) }
+		if cfg.Wrap != nil {
+			out = cfg.Wrap(spec, run)
+		} else {
+			out = run()
+		}
 	}
 
 	jr := JobResult{
@@ -339,13 +376,24 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 		Attempts:           out.Attempts,
 		Match:              out.Match,
 		Cached:             out.Cached,
+		Resumed:            out.Resumed,
 		MachineFingerprint: spec.MachineFingerprint(),
 		WallSeconds:        time.Since(start).Seconds(),
 	}
 	if out.Err == nil && out.Result != nil && out.Result.Mapping != nil {
 		jr.Fingerprint = out.Result.Mapping.Fingerprint()
+		// Checkpoint before announcing: when a job_finished event is
+		// observable, the job's completion record already exists.
+		if resumed {
+			// Carry the original entry forward so the cumulative
+			// checkpoint still covers this job after a second crash.
+			cpr.add(restoredJC)
+		} else {
+			cpr.add(jobCheckpoint(idx, jr, out.ToolSeed))
+		}
 		emit(Event{Kind: EventJobFinished, Job: name, Index: idx,
-			Match: out.Match, Cached: out.Cached, SimSeconds: out.Result.TotalSimSeconds})
+			Match: out.Match, Cached: out.Cached, Resumed: out.Resumed,
+			SimSeconds: out.Result.TotalSimSeconds})
 	} else {
 		if jr.Err == nil {
 			jr.Err = fmt.Errorf("campaign: wrapper returned neither result nor error")
@@ -367,9 +415,9 @@ func attemptLoop(ctx context.Context, spec Spec, cfg Config, idx int, name strin
 		if err := ctx.Err(); err != nil {
 			return Outcome{Err: err, Attempts: attempt}
 		}
-		res, match, err := runAttempt(ctx, spec, cfg, idx, attempt)
+		res, match, seed, err := runAttempt(ctx, spec, cfg, idx, attempt)
 		if err == nil {
-			return Outcome{Result: res, Match: match, Attempts: attempt + 1}
+			return Outcome{Result: res, Match: match, Attempts: attempt + 1, ToolSeed: seed}
 		}
 		if ctx.Err() != nil {
 			return Outcome{Err: ctx.Err(), Attempts: attempt + 1}
@@ -382,10 +430,12 @@ func attemptLoop(ctx context.Context, spec Spec, cfg Config, idx int, name strin
 	return Outcome{Err: lastErr, Attempts: cfg.Retries + 1}
 }
 
-func runAttempt(ctx context.Context, spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, error) {
+// runAttempt executes one pipeline attempt; the third return is the
+// derived tool seed the attempt ran under (the checkpoint records it).
+func runAttempt(ctx context.Context, spec Spec, cfg Config, idx, attempt int) (*core.Result, bool, int64, error) {
 	src, err := spec.source(attempt)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	toolCfg := core.Config{}
 	if spec.Tool != nil {
@@ -408,12 +458,12 @@ func runAttempt(ctx context.Context, spec Spec, cfg Config, idx, attempt int) (*
 
 	run, err := src.Open()
 	if err != nil {
-		return nil, false, fmt.Errorf("campaign: %w", err)
+		return nil, false, 0, fmt.Errorf("campaign: %w", err)
 	}
 	tool, err := core.New(run, toolCfg)
 	if err != nil {
 		run.Close()
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	res, runErr := tool.RunContext(ctx)
 	cerr := run.Close()
@@ -421,16 +471,16 @@ func runAttempt(ctx context.Context, spec Spec, cfg Config, idx, attempt int) (*
 		if cerr != nil && ctx.Err() == nil {
 			// A deferred source error (replay divergence, trace-write
 			// failure) usually explains the pipeline error; keep both.
-			return nil, false, errors.Join(cerr, runErr)
+			return nil, false, 0, errors.Join(cerr, runErr)
 		}
-		return nil, false, runErr
+		return nil, false, 0, runErr
 	}
 	if cerr != nil {
-		return nil, false, fmt.Errorf("campaign: source: %w", cerr)
+		return nil, false, 0, fmt.Errorf("campaign: source: %w", cerr)
 	}
 	match := false
 	if truth := source.Truth(run); truth != nil && res.Mapping != nil {
 		match = res.Mapping.EquivalentTo(truth)
 	}
-	return res, match, nil
+	return res, match, toolCfg.Seed, nil
 }

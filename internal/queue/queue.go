@@ -1,0 +1,784 @@
+// Package queue is a durable, prioritized job queue: the persistence
+// layer between the dramdigd HTTP surface and the campaign engine. Jobs
+// carry an opaque JSON payload and walk a small state machine
+// (submitted → running → checkpointed → done/failed, or cancelled); every
+// transition appends to a write-ahead log so a crashed or redeployed
+// process re-opens the queue and finds its work exactly where it left
+// it — jobs that were in flight come back as submitted, keeping their
+// latest checkpoint, and the scheduler resumes them instead of losing
+// them.
+//
+// Durability follows the internal/store disk idiom: the WAL is an
+// append-only file of JSON lines, fsync'd per record; periodically (and
+// on every Open and Close) the whole queue state is compacted into a
+// snapshot written atomically (temp file + fsync + rename) and the WAL
+// is truncated. Recovery loads the snapshot, replays WAL records with
+// newer sequence numbers, and tolerates a torn final line — the one
+// write a crash can actually tear.
+//
+// Backpressure and dedup are first-class: Submit refuses work past the
+// configured pending capacity with ErrFull (the daemon turns that into
+// 429 + Retry-After), and an idempotency key resubmitted while the
+// original job is retained returns that job instead of enqueueing a
+// duplicate. Higher Priority dequeues first; within a priority, FIFO.
+//
+// With no directory configured the queue runs memory-only: identical
+// semantics, no durability — the mode dramdigd uses when -queue-dir is
+// unset.
+package queue
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the lifecycle.
+type State string
+
+const (
+	// StateSubmitted jobs are waiting to be dequeued (including
+	// recovered jobs that were in flight when the process died).
+	StateSubmitted State = "submitted"
+	// StateRunning jobs have been handed to a scheduler.
+	StateRunning State = "running"
+	// StateCheckpointed jobs are running with recorded partial progress;
+	// recovery returns them to submitted with the checkpoint intact.
+	StateCheckpointed State = "checkpointed"
+	// StateDone, StateFailed and StateCancelled are terminal.
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state ends the job's lifecycle.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// InFlight reports whether the job is with a scheduler right now.
+func (s State) InFlight() bool {
+	return s == StateRunning || s == StateCheckpointed
+}
+
+// Job is one queued unit of work. The queue never interprets Payload,
+// Checkpoint or Result; they are the caller's JSON. Jobs returned by
+// queue methods are copies — mutate freely, the queue keeps its own.
+type Job struct {
+	ID             string          `json:"id"`
+	Priority       int             `json:"priority,omitempty"`
+	IdempotencyKey string          `json:"idempotency_key,omitempty"`
+	Payload        json.RawMessage `json:"payload,omitempty"`
+	State          State           `json:"state"`
+	// Checkpoint is the latest recorded partial progress; cleared when
+	// the job reaches a terminal state.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Result is the terminal payload recorded by Finish.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the terminal failure message (failed/cancelled).
+	Error string `json:"error,omitempty"`
+	// Attempts counts dequeues: 1 on the first run, more after crash
+	// recovery re-queued the job.
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job that was in flight when a previous process
+	// died and was re-queued at Open.
+	Recovered bool `json:"recovered,omitempty"`
+	// Seq is the submission order, the FIFO key within a priority.
+	Seq           uint64 `json:"seq"`
+	SubmittedUnix int64  `json:"submitted_unix,omitempty"`
+}
+
+func (j *Job) clone() Job {
+	c := *j
+	return c
+}
+
+// Sentinel errors. ErrFull means the pending backlog is at capacity;
+// ErrBadState means the requested transition is not legal from the
+// job's current state.
+var (
+	ErrFull     = errors.New("queue: full")
+	ErrNotFound = errors.New("queue: no such job")
+	ErrBadState = errors.New("queue: bad state for transition")
+)
+
+// Config tunes a queue. The zero value is a usable memory-only queue.
+type Config struct {
+	// Dir holds the WAL and snapshot; empty keeps the queue in memory.
+	Dir string
+	// Capacity bounds jobs in StateSubmitted (default 64). In-flight and
+	// terminal jobs do not count: backpressure is about the backlog.
+	Capacity int
+	// KeepTerminal bounds retained terminal jobs (default 256); the
+	// oldest are evicted past the cap, which also ends their
+	// idempotency-dedup window.
+	KeepTerminal int
+	// CompactEvery is the number of WAL records between automatic
+	// snapshot compactions (default 1024).
+	CompactEvery int
+	// IDPrefix prefixes generated job IDs (default "c", matching the
+	// daemon's historical campaign IDs).
+	IDPrefix string
+}
+
+func (c *Config) setDefaults() {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.KeepTerminal <= 0 {
+		c.KeepTerminal = 256
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 1024
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "c"
+	}
+}
+
+// SubmitOptions qualify one submission.
+type SubmitOptions struct {
+	// Priority orders dequeue: higher first, FIFO within equal values.
+	Priority int
+	// IdempotencyKey deduplicates: while a job with this key is
+	// retained, resubmission returns it instead of enqueueing again.
+	IdempotencyKey string
+}
+
+// Stats is a point-in-time census of the queue.
+type Stats struct {
+	Capacity  int `json:"capacity"`
+	Pending   int `json:"pending"`
+	Running   int `json:"running"` // running + checkpointed
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Recovered counts non-terminal jobs that survived a process death.
+	Recovered int `json:"recovered"`
+}
+
+// Queue is safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	cfg     Config
+	jobs    map[string]*Job
+	byKey   map[string]string // idempotency key → job ID
+	pending int               // jobs in StateSubmitted (capacity check is O(1))
+	seq     uint64            // last assigned WAL sequence number
+	nextID  uint64
+	wal     *os.File // nil in memory mode
+	walLen  int      // records since last compaction
+	closed  bool
+
+	ready chan struct{} // signaled (cap 1) when pending work appears
+}
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.json"
+)
+
+// walRecord is one WAL line. Submit records carry the whole job; state
+// and checkpoint records patch an existing one.
+type walRecord struct {
+	Seq        uint64          `json:"seq"`
+	Op         string          `json:"op"` // "submit", "state", "checkpoint"
+	Job        *Job            `json:"job,omitempty"`
+	ID         string          `json:"id,omitempty"`
+	State      State           `json:"state,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// snapshot is the compacted on-disk state: everything the WAL said, as
+// of Seq.
+type snapshot struct {
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+	NextID  uint64 `json:"next_id"`
+	Jobs    []Job  `json:"jobs"`
+}
+
+// Open loads (or creates) a queue. With Config.Dir set it recovers
+// persisted state: snapshot first, then WAL records with newer sequence
+// numbers; jobs that were in flight return to submitted with their
+// checkpoints intact and Recovered set, and the recovered state is
+// compacted back to disk before Open returns.
+func Open(cfg Config) (*Queue, error) {
+	cfg.setDefaults()
+	q := &Queue{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		byKey: make(map[string]string),
+		ready: make(chan struct{}, 1),
+	}
+	if cfg.Dir == "" {
+		return q, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	if err := q.recover(); err != nil {
+		return nil, err
+	}
+	// Re-queue interrupted work: anything in flight when the previous
+	// process died is pending again, checkpoint and attempt count kept.
+	for _, j := range q.jobs {
+		if j.State.InFlight() {
+			j.State = StateSubmitted
+			j.Recovered = true
+		}
+	}
+	q.pending = 0
+	for _, j := range q.jobs {
+		if j.State == StateSubmitted {
+			q.pending++
+		}
+	}
+	// Persist the recovered view and start from a clean WAL.
+	if err := q.compactLocked(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	if err := syncDir(cfg.Dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	q.wal = f
+	if q.pending > 0 {
+		q.wake()
+	}
+	return q, nil
+}
+
+// syncDir fsyncs a directory, making renames, truncations and file
+// creations inside it durable against power loss — process death alone
+// never needs this, but the WAL's crash-safety claim covers both.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	return nil
+}
+
+// recover loads the snapshot and replays the WAL into memory.
+func (q *Queue) recover() error {
+	snapPath := filepath.Join(q.cfg.Dir, snapshotName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("queue: corrupt snapshot %s: %w", snapPath, err)
+		}
+		q.seq, q.nextID = snap.Seq, snap.NextID
+		for i := range snap.Jobs {
+			j := snap.Jobs[i]
+			q.jobs[j.ID] = &j
+			if j.IdempotencyKey != "" {
+				q.byKey[j.IdempotencyKey] = j.ID
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("queue: %w", err)
+	}
+
+	walPath := filepath.Join(q.cfg.Dir, walName)
+	data, err := os.ReadFile(walPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pending []walRecord
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail is the one corruption a crash legitimately
+			// produces; drop it. Anything before the tail is real
+			// corruption and must not be silently eaten.
+			if isLastLine(data, line) {
+				break
+			}
+			return fmt.Errorf("queue: corrupt WAL record (seq after %d): %w", q.seq, err)
+		}
+		pending = append(pending, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	for _, rec := range pending {
+		if rec.Seq <= q.seq {
+			continue // already folded into the snapshot
+		}
+		if err := q.applyLocked(rec); err != nil {
+			return fmt.Errorf("queue: WAL replay: %w", err)
+		}
+		q.seq = rec.Seq
+	}
+	return nil
+}
+
+// isLastLine reports whether line is the final non-empty line of data.
+func isLastLine(data, line []byte) bool {
+	idx := bytes.LastIndex(data, line)
+	if idx < 0 {
+		return false
+	}
+	rest := bytes.TrimSpace(data[idx+len(line):])
+	return len(rest) == 0
+}
+
+// applyLocked folds one record into the in-memory state. It is the
+// single mutation path: live transitions build a record, apply it, then
+// append it — so replaying the WAL reproduces exactly the state the
+// live process had.
+func (q *Queue) applyLocked(rec walRecord) error {
+	switch rec.Op {
+	case "submit":
+		if rec.Job == nil {
+			return fmt.Errorf("submit record %d has no job", rec.Seq)
+		}
+		j := rec.Job.clone()
+		q.jobs[j.ID] = &j
+		if j.State == StateSubmitted {
+			q.pending++
+		}
+		if j.IdempotencyKey != "" {
+			q.byKey[j.IdempotencyKey] = j.ID
+		}
+		if n := parseID(j.ID, q.cfg.IDPrefix); n >= q.nextID {
+			q.nextID = n
+		}
+	case "state":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("state record %d for unknown job %s", rec.Seq, rec.ID)
+		}
+		if j.State == StateSubmitted && rec.State != StateSubmitted {
+			q.pending--
+		}
+		j.State = rec.State
+		switch rec.State {
+		case StateRunning:
+			j.Attempts++
+		case StateDone:
+			j.Result = rec.Result
+			j.Checkpoint = nil
+		case StateFailed, StateCancelled:
+			j.Error = rec.Error
+			j.Checkpoint = nil
+		}
+		if rec.State.Terminal() {
+			q.evictTerminalLocked()
+		}
+	case "checkpoint":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("checkpoint record %d for unknown job %s", rec.Seq, rec.ID)
+		}
+		j.State = StateCheckpointed
+		j.Checkpoint = rec.Checkpoint
+	default:
+		return fmt.Errorf("record %d has unknown op %q", rec.Seq, rec.Op)
+	}
+	return nil
+}
+
+// parseID extracts the numeric part of a generated ID ("c17" → 17).
+func parseID(id, prefix string) uint64 {
+	if !strings.HasPrefix(id, prefix) {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[len(prefix):], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// append writes one record to the WAL (fsync'd) and compacts when due.
+// Callers hold q.mu and have already applied the record.
+func (q *Queue) append(rec walRecord) error {
+	if q.wal == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("queue: encode WAL record: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := q.wal.Write(data); err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	if err := q.wal.Sync(); err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	q.walLen++
+	if q.walLen >= q.cfg.CompactEvery {
+		return q.compactAndResetLocked()
+	}
+	return nil
+}
+
+// compactLocked writes the full state as a snapshot, atomically: temp
+// file, fsync, rename — the internal/store idiom — then truncates the
+// WAL, whose records are all ≤ the snapshot's sequence number.
+func (q *Queue) compactLocked() error {
+	if q.cfg.Dir == "" {
+		return nil
+	}
+	snap := snapshot{Version: 1, Seq: q.seq, NextID: q.nextID}
+	for _, j := range q.jobs {
+		snap.Jobs = append(snap.Jobs, j.clone())
+	}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("queue: encode snapshot: %w", err)
+	}
+	path := filepath.Join(q.cfg.Dir, snapshotName)
+	tmp, err := os.CreateTemp(q.cfg.Dir, snapshotName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("queue: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("queue: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("queue: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("queue: %w", err)
+	}
+	// The snapshot now covers every WAL record; a crash between the
+	// rename and this truncate is safe because replay skips records with
+	// seq ≤ the snapshot's.
+	if err := os.Truncate(filepath.Join(q.cfg.Dir, walName), 0); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("queue: %w", err)
+	}
+	// Make the rename and the truncation power-loss durable.
+	if err := syncDir(q.cfg.Dir); err != nil {
+		return err
+	}
+	q.walLen = 0
+	return nil
+}
+
+// compactAndResetLocked compacts and reopens the WAL handle at offset 0.
+func (q *Queue) compactAndResetLocked() error {
+	if err := q.compactLocked(); err != nil {
+		return err
+	}
+	// The O_APPEND handle tracks the truncated file; nothing to reopen.
+	return nil
+}
+
+// Close compacts (durable mode) and releases the WAL. Further calls on
+// the queue fail.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var err error
+	if q.wal != nil {
+		err = q.compactLocked()
+		if cerr := q.wal.Close(); err == nil {
+			err = cerr
+		}
+		q.wal = nil
+	}
+	return err
+}
+
+var errClosed = errors.New("queue: closed")
+
+// Submit enqueues a job. The returned bool is true when an idempotency
+// key matched a retained job and that job is returned instead of a new
+// one. ErrFull reports a pending backlog at capacity.
+func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, false, errClosed
+	}
+	if opts.IdempotencyKey != "" {
+		if id, ok := q.byKey[opts.IdempotencyKey]; ok {
+			if j, ok := q.jobs[id]; ok {
+				return j.clone(), true, nil
+			}
+			delete(q.byKey, opts.IdempotencyKey) // job evicted; key expired
+		}
+	}
+	if q.pending >= q.cfg.Capacity {
+		return Job{}, false, ErrFull
+	}
+	q.nextID++
+	q.seq++
+	j := Job{
+		ID:             fmt.Sprintf("%s%d", q.cfg.IDPrefix, q.nextID),
+		Priority:       opts.Priority,
+		IdempotencyKey: opts.IdempotencyKey,
+		Payload:        append(json.RawMessage(nil), payload...),
+		State:          StateSubmitted,
+		Seq:            q.seq,
+		SubmittedUnix:  time.Now().Unix(),
+	}
+	rec := walRecord{Seq: q.seq, Op: "submit", Job: &j}
+	if err := q.applyLocked(rec); err != nil {
+		return Job{}, false, err
+	}
+	if err := q.append(rec); err != nil {
+		// The WAL is the source of truth; an unpersistable submit must
+		// not be admitted.
+		delete(q.jobs, j.ID)
+		q.pending--
+		if j.IdempotencyKey != "" {
+			delete(q.byKey, j.IdempotencyKey)
+		}
+		return Job{}, false, err
+	}
+	q.wake()
+	return j, false, nil
+}
+
+// Dequeue pops the best pending job (highest priority, then FIFO) and
+// marks it running. The second return is false when nothing is pending.
+func (q *Queue) Dequeue() (Job, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, false, errClosed
+	}
+	var best *Job
+	for _, j := range q.jobs {
+		if j.State != StateSubmitted {
+			continue
+		}
+		if best == nil || j.Priority > best.Priority ||
+			(j.Priority == best.Priority && j.Seq < best.Seq) {
+			best = j
+		}
+	}
+	if best == nil {
+		return Job{}, false, nil
+	}
+	if err := q.transitionLocked(best.ID, walRecord{Op: "state", State: StateRunning}); err != nil {
+		return Job{}, false, err
+	}
+	return best.clone(), true, nil
+}
+
+// Checkpoint records partial progress for an in-flight job; recovery
+// hands the checkpoint back with the re-queued job.
+func (q *Queue) Checkpoint(id string, cp json.RawMessage) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.State.InFlight() {
+		return fmt.Errorf("%w: checkpoint of %s job %s", ErrBadState, j.State, id)
+	}
+	return q.transitionLocked(id, walRecord{
+		Op: "checkpoint", Checkpoint: append(json.RawMessage(nil), cp...),
+	})
+}
+
+// Finish moves an in-flight job to done, recording its result.
+func (q *Queue) Finish(id string, result json.RawMessage) error {
+	return q.terminal(id, StateDone, append(json.RawMessage(nil), result...), "")
+}
+
+// Fail moves an in-flight job to failed.
+func (q *Queue) Fail(id, msg string) error {
+	return q.terminal(id, StateFailed, nil, msg)
+}
+
+// Cancelled moves an in-flight job to cancelled — the bookkeeping half
+// of cancelling a running job, after the caller has stopped the work.
+func (q *Queue) Cancelled(id, msg string) error {
+	return q.terminal(id, StateCancelled, nil, msg)
+}
+
+func (q *Queue) terminal(id string, st State, result json.RawMessage, msg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.State.InFlight() {
+		return fmt.Errorf("%w: %s of %s job %s", ErrBadState, st, j.State, id)
+	}
+	return q.transitionLocked(id, walRecord{Op: "state", State: st, Result: result, Error: msg})
+}
+
+// Cancel removes a still-pending job from the queue. Running jobs must
+// be stopped by their scheduler and reported via Cancelled; terminal
+// jobs cannot change.
+func (q *Queue) Cancel(id, msg string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, errClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if j.State != StateSubmitted {
+		return Job{}, fmt.Errorf("%w: cancel of %s job %s", ErrBadState, j.State, id)
+	}
+	if err := q.transitionLocked(id, walRecord{Op: "state", State: StateCancelled, Error: msg}); err != nil {
+		return Job{}, err
+	}
+	if kept, ok := q.jobs[id]; ok {
+		return kept.clone(), nil
+	}
+	return *j, nil
+}
+
+// transitionLocked stamps, applies and persists one mutation record.
+func (q *Queue) transitionLocked(id string, rec walRecord) error {
+	q.seq++
+	rec.Seq, rec.ID = q.seq, id
+	if err := q.applyLocked(rec); err != nil {
+		return err
+	}
+	return q.append(rec)
+}
+
+// Get returns a copy of the job, if retained.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.clone(), true
+}
+
+// Jobs returns copies of every retained job, in submission order.
+func (q *Queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, j.clone())
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Seq < out[k-1].Seq; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// StatsSnapshot counts jobs by state.
+func (q *Queue) StatsSnapshot() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := Stats{Capacity: q.cfg.Capacity}
+	for _, j := range q.jobs {
+		switch j.State {
+		case StateSubmitted:
+			st.Pending++
+		case StateRunning, StateCheckpointed:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+		if j.Recovered && !j.State.Terminal() {
+			st.Recovered++
+		}
+	}
+	return st
+}
+
+// Ready is signaled (capacity-1 channel) whenever pending work may have
+// appeared: after Submit and after Open recovered a backlog. A
+// scheduler selects on it instead of polling.
+func (q *Queue) Ready() <-chan struct{} { return q.ready }
+
+func (q *Queue) wake() {
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+// evictTerminalLocked drops the oldest terminal jobs past KeepTerminal.
+// Eviction is a pure function of job state, so WAL replay converges on
+// the same retained set without eviction records.
+func (q *Queue) evictTerminalLocked() {
+	var terminal []*Job
+	for _, j := range q.jobs {
+		if j.State.Terminal() {
+			terminal = append(terminal, j)
+		}
+	}
+	over := len(terminal) - q.cfg.KeepTerminal
+	if over <= 0 {
+		return
+	}
+	for i := 1; i < len(terminal); i++ {
+		for k := i; k > 0 && terminal[k].Seq < terminal[k-1].Seq; k-- {
+			terminal[k], terminal[k-1] = terminal[k-1], terminal[k]
+		}
+	}
+	for _, j := range terminal[:over] {
+		delete(q.jobs, j.ID)
+		if j.IdempotencyKey != "" && q.byKey[j.IdempotencyKey] == j.ID {
+			delete(q.byKey, j.IdempotencyKey)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package queue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func openTest(t *testing.T, cfg Config) *Queue {
+	t.Helper()
+	q, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+func mustSubmit(t *testing.T, q *Queue, payload string, opts SubmitOptions) Job {
+	t.Helper()
+	j, dup, err := q.Submit(json.RawMessage(payload), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup {
+		t.Fatalf("unexpected dup for payload %s", payload)
+	}
+	return j
+}
+
+// TestQueuePriorityFIFO: dequeue order is priority-major, submission
+// FIFO within a priority.
+func TestQueuePriorityFIFO(t *testing.T) {
+	q := openTest(t, Config{})
+	a := mustSubmit(t, q, `{"n":1}`, SubmitOptions{})
+	b := mustSubmit(t, q, `{"n":2}`, SubmitOptions{Priority: 5})
+	c := mustSubmit(t, q, `{"n":3}`, SubmitOptions{Priority: 5})
+	d := mustSubmit(t, q, `{"n":4}`, SubmitOptions{Priority: 1})
+
+	var got []string
+	for {
+		j, ok, err := q.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, j.ID)
+		if j.Attempts != 1 {
+			t.Errorf("job %s attempts %d, want 1", j.ID, j.Attempts)
+		}
+	}
+	want := []string{b.ID, c.ID, d.ID, a.ID}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order %v, want %v", got, want)
+	}
+}
+
+// TestQueueCapacity: the pending backlog is bounded; dequeued jobs free
+// their slot.
+func TestQueueCapacity(t *testing.T) {
+	q := openTest(t, Config{Capacity: 2})
+	mustSubmit(t, q, `1`, SubmitOptions{})
+	mustSubmit(t, q, `2`, SubmitOptions{})
+	if _, _, err := q.Submit(json.RawMessage(`3`), SubmitOptions{}); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity submit: %v, want ErrFull", err)
+	}
+	if _, ok, err := q.Dequeue(); err != nil || !ok {
+		t.Fatalf("dequeue: %v %v", ok, err)
+	}
+	if _, _, err := q.Submit(json.RawMessage(`3`), SubmitOptions{}); err != nil {
+		t.Fatalf("submit after dequeue freed a slot: %v", err)
+	}
+}
+
+// TestQueueIdempotency: a key resubmitted while its job is retained
+// returns the original job — pending, running and terminal alike.
+func TestQueueIdempotency(t *testing.T) {
+	q := openTest(t, Config{})
+	orig := mustSubmit(t, q, `{"x":1}`, SubmitOptions{IdempotencyKey: "k1"})
+
+	j, dup, err := q.Submit(json.RawMessage(`{"x":2}`), SubmitOptions{IdempotencyKey: "k1"})
+	if err != nil || !dup || j.ID != orig.ID {
+		t.Fatalf("pending dedup: %v dup=%v id=%s want %s", err, dup, j.ID, orig.ID)
+	}
+	if string(j.Payload) != `{"x":1}` {
+		t.Errorf("dedup returned payload %s, want the original", j.Payload)
+	}
+
+	if _, ok, _ := q.Dequeue(); !ok {
+		t.Fatal("dequeue")
+	}
+	if _, dup, _ := q.Submit(nil, SubmitOptions{IdempotencyKey: "k1"}); !dup {
+		t.Error("running dedup failed")
+	}
+	if err := q.Finish(orig.ID, json.RawMessage(`"ok"`)); err != nil {
+		t.Fatal(err)
+	}
+	j, dup, err = q.Submit(nil, SubmitOptions{IdempotencyKey: "k1"})
+	if err != nil || !dup || j.State != StateDone {
+		t.Fatalf("terminal dedup: %v dup=%v state=%s", err, dup, j.State)
+	}
+}
+
+// TestQueueRecovery is the contract at the heart of the subsystem: a
+// queue reopened after an unclean death (no Close) finds every job, and
+// in-flight jobs are pending again with their checkpoints.
+func TestQueueRecovery(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := mustSubmit(t, q1, `{"job":"done"}`, SubmitOptions{IdempotencyKey: "kd"})
+	run := mustSubmit(t, q1, `{"job":"interrupted"}`, SubmitOptions{})
+	idle := mustSubmit(t, q1, `{"job":"idle"}`, SubmitOptions{Priority: -1})
+
+	for i := 0; i < 2; i++ { // dequeue `done` and `run`
+		if _, ok, err := q1.Dequeue(); err != nil || !ok {
+			t.Fatalf("dequeue %d: %v %v", i, ok, err)
+		}
+	}
+	if err := q1.Finish(done.ID, json.RawMessage(`{"r":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Checkpoint(run.ID, json.RawMessage(`{"progress":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the process "dies" here.
+
+	q2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+
+	j, ok := q2.Get(done.ID)
+	if !ok || j.State != StateDone || string(j.Result) != `{"r":1}` {
+		t.Fatalf("done job after recovery: ok=%v %+v", ok, j)
+	}
+	j, ok = q2.Get(run.ID)
+	if !ok || j.State != StateSubmitted || !j.Recovered {
+		t.Fatalf("interrupted job after recovery: ok=%v %+v", ok, j)
+	}
+	if string(j.Checkpoint) != `{"progress":3}` || j.Attempts != 1 {
+		t.Fatalf("interrupted job lost progress: %+v", j)
+	}
+	j, ok = q2.Get(idle.ID)
+	if !ok || j.State != StateSubmitted || j.Recovered {
+		t.Fatalf("idle job after recovery: ok=%v %+v", ok, j)
+	}
+
+	// Idempotency keys survive recovery.
+	if _, dup, _ := q2.Submit(nil, SubmitOptions{IdempotencyKey: "kd"}); !dup {
+		t.Error("idempotency key lost across recovery")
+	}
+	// The interrupted job dequeues before the idle one (same default
+	// priority beats priority -1; recovery kept FIFO order).
+	got, ok, err := q2.Dequeue()
+	if err != nil || !ok || got.ID != run.ID {
+		t.Fatalf("first recovered dequeue %v %v %v, want %s", got.ID, ok, err, run.ID)
+	}
+	if got.Attempts != 2 {
+		t.Errorf("recovered job attempts %d, want 2", got.Attempts)
+	}
+	// IDs keep counting where the dead process stopped — no collisions.
+	fresh := mustSubmit(t, q2, `{}`, SubmitOptions{})
+	for _, old := range []string{done.ID, run.ID, idle.ID} {
+		if fresh.ID == old {
+			t.Fatalf("recovered queue reissued ID %s", old)
+		}
+	}
+}
+
+// TestQueueTornTail: a partial final WAL line (torn write at crash) is
+// dropped; corruption before the tail is an error.
+func TestQueueTornTail(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := mustSubmit(t, q1, `{"keep":true}`, SubmitOptions{})
+	walPath := filepath.Join(dir, walName)
+
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":999,"op":"submit","job":{"id":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	q2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if _, ok := q2.Get(keep.ID); !ok {
+		t.Error("intact record lost with the torn tail")
+	}
+	q2.Close()
+
+	// Corruption in the middle is not silently eaten.
+	if err := os.WriteFile(walPath, []byte("{garbage\n{\"also\": \"broken\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, snapshotName))
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("mid-WAL corruption went unnoticed")
+	}
+}
+
+// TestQueueCompaction: the WAL truncates once CompactEvery records
+// accumulate, and the snapshot alone reproduces the state.
+func TestQueueCompaction(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := Open(Config{Dir: dir, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Job
+	for i := 0; i < 6; i++ {
+		last = mustSubmit(t, q1, fmt.Sprintf(`{"i":%d}`, i), SubmitOptions{})
+	}
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 submits with CompactEvery=4: compacted at 4, so ≤ 2 records left.
+	if fi.Size() == 0 {
+		t.Fatal("WAL empty right after an uncompacted submit")
+	}
+	var snap snapshot
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 4 {
+		t.Fatalf("snapshot has %d jobs, want the 4 compacted ones", len(snap.Jobs))
+	}
+
+	q2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if got := q2.StatsSnapshot().Pending; got != 6 {
+		t.Fatalf("recovered %d pending jobs, want 6", got)
+	}
+	if _, ok := q2.Get(last.ID); !ok {
+		t.Error("post-compaction submit lost")
+	}
+}
+
+// TestQueueTransitions rejects illegal state moves.
+func TestQueueTransitions(t *testing.T) {
+	q := openTest(t, Config{})
+	j := mustSubmit(t, q, `{}`, SubmitOptions{})
+
+	if err := q.Finish(j.ID, nil); !errors.Is(err, ErrBadState) {
+		t.Errorf("finish of pending job: %v", err)
+	}
+	if err := q.Checkpoint(j.ID, nil); !errors.Is(err, ErrBadState) {
+		t.Errorf("checkpoint of pending job: %v", err)
+	}
+	if _, _, err := q.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Cancel(j.ID, "late"); !errors.Is(err, ErrBadState) {
+		t.Errorf("cancel of running job: %v", err)
+	}
+	if err := q.Finish(j.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Fail(j.ID, "again"); !errors.Is(err, ErrBadState) {
+		t.Errorf("fail of done job: %v", err)
+	}
+	if err := q.Finish("nope", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("finish of unknown job: %v", err)
+	}
+
+	// Pending cancel is legal and terminal.
+	p := mustSubmit(t, q, `{}`, SubmitOptions{})
+	got, err := q.Cancel(p.ID, "operator said so")
+	if err != nil || got.State != StateCancelled || got.Error != "operator said so" {
+		t.Fatalf("cancel: %v %+v", err, got)
+	}
+	if _, ok, _ := q.Dequeue(); ok {
+		t.Error("cancelled job still dequeued")
+	}
+}
+
+// TestQueueTerminalEviction: terminal retention is bounded and evicted
+// keys stop deduplicating.
+func TestQueueTerminalEviction(t *testing.T) {
+	q := openTest(t, Config{KeepTerminal: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j := mustSubmit(t, q, `{}`, SubmitOptions{IdempotencyKey: fmt.Sprintf("k%d", i)})
+		if _, ok, _ := q.Dequeue(); !ok {
+			t.Fatal("dequeue")
+		}
+		if err := q.Finish(j.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Error("oldest terminal job not evicted")
+	}
+	if _, ok := q.Get(ids[3]); !ok {
+		t.Error("newest terminal job evicted")
+	}
+	if _, dup, err := q.Submit(nil, SubmitOptions{IdempotencyKey: "k0"}); err != nil || dup {
+		t.Errorf("evicted key still deduplicates: dup=%v err=%v", dup, err)
+	}
+	if _, dup, _ := q.Submit(nil, SubmitOptions{IdempotencyKey: "k3"}); !dup {
+		t.Error("retained key no longer deduplicates")
+	}
+}
+
+// TestQueueConcurrent hammers the queue from many goroutines — run
+// under -race this is the data-race check.
+func TestQueueConcurrent(t *testing.T) {
+	q := openTest(t, Config{Dir: t.TempDir(), Capacity: 1024})
+	const producers, perProducer = 4, 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if _, _, err := q.Submit(json.RawMessage(`{}`), SubmitOptions{Priority: i % 3}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	var done sync.WaitGroup
+	var finished atomic.Int64
+	for c := 0; c < 2; c++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for finished.Load() < producers*perProducer {
+				j, ok, err := q.Dequeue()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					continue
+				}
+				if err := q.Checkpoint(j.ID, json.RawMessage(`1`)); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := q.Finish(j.ID, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				finished.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	done.Wait()
+	st := q.StatsSnapshot()
+	if st.Done != producers*perProducer || st.Pending != 0 || st.Running != 0 {
+		t.Fatalf("final stats %+v", st)
+	}
+}
