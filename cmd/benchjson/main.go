@@ -8,9 +8,11 @@
 // per benchmark with iterations, ns/op and the benchmark's custom
 // metrics (machines/s, samples/s, jobs/s, ...), including the
 // engine_live_vs_replay row tracking how much faster a trace replay is
-// than the live simulation it recorded, and the durable-queue rows
+// than the live simulation it recorded, the durable-queue rows
 // (queue_submit, queue_recover) tracking the WAL's fsync-bound submit
-// path and crash-recovery replay throughput.
+// path and crash-recovery replay throughput, and the metrics_overhead
+// row tracking what the hot-path sample instrumentation costs relative
+// to an uninstrumented run.
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"time"
 
 	"dramdig"
+	"dramdig/internal/engine"
+	"dramdig/internal/metrics"
 	"dramdig/internal/queue"
 	"dramdig/internal/trace"
 )
@@ -81,6 +85,7 @@ func main() {
 	run("trace_record", benchTraceRecord)
 	run("trace_replay_strict", benchTraceReplay)
 	run("engine_live", benchEngineLive)
+	run("engine_live_instrumented", benchEngineLiveInstrumented)
 	run("engine_replay_strict", benchEngineReplay)
 	run("queue_submit", benchQueueSubmit)
 	run("queue_submit_memory", benchQueueSubmitMemory)
@@ -116,6 +121,30 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, row)
 		fmt.Fprintf(os.Stderr, "benchjson: %-22s replay speedup %.2fx\n",
 			row.Name, row.Metrics["replay_speedup"])
+	}
+
+	// metrics_overhead: the same derived-row treatment for the cost of
+	// per-sample instrumentation — an atomic counter increment plus a
+	// histogram observation on every timing measurement. The observability
+	// contract is that this stays within a few percent of the bare run.
+	bare, inst := byName("engine_live"), byName("engine_live_instrumented")
+	switch {
+	case bare == nil || inst == nil || bare.NsPerOp <= 0:
+		fmt.Fprintln(os.Stderr, "benchjson: skipping metrics_overhead (inputs missing or degenerate)")
+	default:
+		row := benchResult{
+			Name:       "metrics_overhead",
+			Iterations: inst.Iterations,
+			NsPerOp:    inst.NsPerOp,
+			Metrics: map[string]float64{
+				"bare_ns_op":         bare.NsPerOp,
+				"instrumented_ns_op": inst.NsPerOp,
+				"overhead_pct":       (inst.NsPerOp/bare.NsPerOp - 1) * 100,
+			},
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s overhead %+.2f%%\n",
+			row.Name, row.Metrics["overhead_pct"])
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -227,6 +256,27 @@ func benchEngineLive(b *testing.B) {
 			b.Fatal(err)
 		}
 		res, err := dramdig.Run(context.Background(), dramdig.LiveSource(m), dramdig.WithSeed(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		meas = res.Measurements
+	}
+	b.ReportMetric(float64(meas)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchEngineLiveInstrumented is benchEngineLive with the engine's
+// sample instrumentation attached to a real registry — the instrumented
+// side of the metrics_overhead comparison.
+func benchEngineLiveInstrumented(b *testing.B) {
+	inst := engine.NewInstrument(metrics.NewRegistry())
+	var meas uint64
+	for i := 0; i < b.N; i++ {
+		m, err := dramdig.NewMachine(4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dramdig.Run(context.Background(), dramdig.LiveSource(m),
+			dramdig.WithSeed(42), engine.WithInstrument(inst))
 		if err != nil {
 			b.Fatal(err)
 		}

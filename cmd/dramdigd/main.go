@@ -8,6 +8,7 @@
 //
 //	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-queue-dir DIR]
 //	         [-workers N] [-retries N] [-max-running N] [-max-queued N] [-v]
+//	         [-pprof-addr :6060] [-log-format text|json] [-log-level info]
 //
 // API (v1, the canonical surface):
 //
@@ -20,7 +21,13 @@
 //	GET    /v1/mappings/{fingerprint}  cached mapping by machine fingerprint
 //	GET    /v1/traces/{fingerprint}    recorded timing trace by machine fingerprint
 //	GET    /v1/queue                   queue depth, running campaigns, capacity, drain flag
-//	GET    /v1/healthz                 liveness + store and queue statistics
+//	GET    /v1/healthz                 liveness + queue depth, cache entries, full statistics
+//	GET    /v1/metrics                 Prometheus text exposition of every layer's metrics (alias /metrics)
+//
+// Every response carries X-Request-Id (client-supplied or minted) and
+// every request produces one structured log line (-log-format text|json,
+// -log-level). With -pprof-addr set, net/http/pprof serves on that
+// separate listener — keep it on localhost.
 //
 // Errors share one envelope: {"error":{"code":"not_found","message":...}}.
 // The original unversioned routes still answer as deprecated aliases of
@@ -61,12 +68,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"dramdig/internal/logging"
+	"dramdig/internal/metrics"
 	"dramdig/internal/queue"
 	"dramdig/internal/store"
 )
@@ -83,6 +93,9 @@ func main() {
 		maxRun     = flag.Int("max-running", maxRunning, "concurrently executing campaigns; the rest wait in the queue")
 		maxQueued  = flag.Int("max-queued", 64, "pending campaign backlog before POSTs get 429")
 		verbose    = flag.Bool("v", false, "log progress to stderr")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty: off)")
+		logFormat  = flag.String("log-format", logging.FormatText, "structured log format: text or json")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
@@ -91,6 +104,10 @@ func main() {
 		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "dramdigd: "+format+"\n", args...)
 		}
+	}
+	logger, err := logging.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
 	}
 
 	st, err := store.Open(store.Config{Dir: *cacheDir, TraceDir: *traceDir, MaxEntries: *maxEntries})
@@ -117,6 +134,8 @@ func main() {
 		tracing:    *traceDir != "",
 		maxRunning: *maxRun,
 		logf:       logf,
+		registry:   metrics.NewRegistry(),
+		logger:     logger,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,
@@ -124,9 +143,33 @@ func main() {
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 
+	// The profiling listener is deliberately separate from the API
+	// listener: pprof exposes heap contents and must never ride on an
+	// address that gets exposed beyond localhost by accident. The mux is
+	// explicit — importing net/http/pprof registers on DefaultServeMux,
+	// which we do not serve.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pprofMux}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "dramdigd: listening on %s (workers %d, cache %q)\n", *addr, *workers, *cacheDir)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "cache_dir", *cacheDir,
+		"queue_dir", *queueDir, "max_running", *maxRun)
 
 	select {
 	case <-ctx.Done():

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -35,11 +36,15 @@ import (
 
 	"dramdig/internal/campaign"
 	"dramdig/internal/core"
+	"dramdig/internal/engine"
+	"dramdig/internal/logging"
 	"dramdig/internal/machine"
+	"dramdig/internal/metrics"
 	"dramdig/internal/queue"
 	"dramdig/internal/specs"
 	"dramdig/internal/store"
 	"dramdig/internal/sysinfo"
+	"dramdig/internal/timing"
 )
 
 // serverConfig tunes the daemon handler.
@@ -55,18 +60,36 @@ type serverConfig struct {
 	// everything beyond it waits in the queue.
 	maxRunning int
 	logf       func(format string, args ...any)
+	// registry collects every layer's metrics; nil gets a fresh registry
+	// (tests and main both scrape it via GET /v1/metrics).
+	registry *metrics.Registry
+	// logger receives structured request and campaign-transition logs;
+	// nil discards them. The printf-style logf above stays the legacy
+	// progress channel.
+	logger *slog.Logger
 }
 
 // server is the daemon's handler. Campaigns run asynchronously on the
 // base context, so cancelling it (process shutdown) drains them; their
 // queue entries stay in flight and recover at the next boot.
 type server struct {
-	mux     *http.ServeMux
+	mux *http.ServeMux
+	// handler is mux wrapped in the observability middleware (observe.go).
+	handler http.Handler
 	st      *store.Store
 	q       *queue.Queue
 	baseCtx context.Context
 	cfg     serverConfig
 	logf    func(format string, args ...any)
+	log     *slog.Logger
+	// reg is the metrics registry every layer registers into; om, inst
+	// and cm are the daemon's own, the engine's and the campaign layer's
+	// metric sets; ids mints request IDs.
+	reg  *metrics.Registry
+	om   *serverMetrics
+	inst *timing.Instrument
+	cm   *campaign.Metrics
+	ids  *logging.IDGen
 	// runCampaign is campaign.Run, injectable for handler tests.
 	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
 
@@ -141,16 +164,33 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	if cfg.maxRunning <= 0 {
 		cfg.maxRunning = maxRunning
 	}
+	if cfg.registry == nil {
+		cfg.registry = metrics.NewRegistry()
+	}
+	if cfg.logger == nil {
+		cfg.logger = logging.Discard()
+	}
 	s := &server{
 		st:          st,
 		q:           q,
 		baseCtx:     baseCtx,
 		cfg:         cfg,
 		logf:        cfg.logf,
+		log:         cfg.logger,
+		reg:         cfg.registry,
+		ids:         logging.NewIDGen(),
 		runCampaign: campaign.Run,
 		campaigns:   make(map[string]*campaignState),
 		slotFree:    make(chan struct{}, 1),
 	}
+	// Every layer registers into the one registry: daemon middleware,
+	// queue WAL/backlog, store cache tiers, campaign lifecycle and the
+	// engine's measurement hot path.
+	s.om = newServerMetrics(s.reg)
+	s.q.RegisterMetrics(s.reg)
+	s.st.RegisterMetrics(s.reg)
+	s.cm = campaign.NewMetrics(s.reg)
+	s.inst = engine.NewInstrument(s.reg)
 	s.mux = http.NewServeMux()
 	// The canonical, versioned surface.
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
@@ -163,6 +203,10 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleGetTrace)
 	s.mux.HandleFunc("GET /v1/queue", s.handleGetQueue)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.Handle("GET /v1/metrics", s.reg.Handler())
+	// /metrics is the conventional scrape path — an alias, not a
+	// deprecated route.
+	s.mux.Handle("GET /metrics", s.reg.Handler())
 	// Deprecated unversioned aliases of the /v1 routes.
 	s.mux.HandleFunc("POST /campaigns", deprecated(s.handleCreateCampaign))
 	s.mux.HandleFunc("GET /campaigns/{id}", deprecated(s.handleGetCampaign))
@@ -170,6 +214,8 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.mux.HandleFunc("GET /mappings/{fingerprint}", deprecated(s.handleGetMapping))
 	s.mux.HandleFunc("GET /traces/{fingerprint}", deprecated(s.handleGetTrace))
 	s.mux.HandleFunc("GET /healthz", deprecated(s.handleHealthz))
+
+	s.handler = s.observe(s.mux)
 
 	s.recoverFromQueue()
 	go s.schedule()
@@ -186,20 +232,28 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // maxCampaigns bounds retained campaign states (running ones never count
 // against the bound — they are skipped by eviction). maxCampaignJobs
 // bounds one request's job count and maxRunning is the default cap on
 // concurrently executing campaigns; both keep a hostile client from
-// pinning the daemon's memory or cores with cheap POSTs.
-// retryAfterSeconds is the Retry-After hint on 429/503 rejections.
+// pinning the daemon's memory or cores with cheap POSTs. The Retry-After
+// hint on 429/503 rejections derives from the live queue depth (see
+// retryAfterSecondsHint in observe.go).
 const (
-	maxCampaigns      = 64
-	maxCampaignJobs   = 256
-	maxRunning        = 8
-	retryAfterSeconds = 10
+	maxCampaigns    = 64
+	maxCampaignJobs = 256
+	maxRunning      = 8
 )
+
+// logTransition emits the structured log line for a campaign state
+// transition — one line per transition, with the campaign ID on every
+// line so transitions correlate across the daemon's lifetime.
+func (s *server) logTransition(id, from, to string, attrs ...any) {
+	s.log.Info("campaign transition",
+		append([]any{"campaign", id, "from", from, "to", to}, attrs...)...)
+}
 
 // drain blocks until every in-flight campaign goroutine has finished;
 // call after cancelling the base context.
@@ -379,11 +433,13 @@ func (s *server) launch(job queue.Job) {
 	}
 
 	cfg := campaign.Config{
-		Workers: p.Request.Workers,
-		Retries: s.cfg.retries,
-		Seed:    p.Seed,
-		OnEvent: st.onEvent,
-		Wrap:    s.storeWrap,
+		Workers:    p.Request.Workers,
+		Retries:    s.cfg.retries,
+		Seed:       p.Seed,
+		OnEvent:    st.onEvent,
+		Wrap:       s.storeWrap,
+		Metrics:    s.cm,
+		Instrument: s.inst,
 		OnCheckpoint: func(cp campaign.Checkpoint) {
 			data, err := json.Marshal(cp)
 			if err != nil {
@@ -424,6 +480,7 @@ func (s *server) launch(job queue.Job) {
 		s.finishJob(job.ID, st, specList, rep, err)
 	}()
 	s.logf("campaign %s: started (%d jobs, attempt %d)", job.ID, len(specList), job.Attempts)
+	s.logTransition(job.ID, "queued", "running", "jobs", len(specList), "attempt", job.Attempts)
 }
 
 // failJob marks a job failed before it ever ran (corrupt payload).
@@ -443,6 +500,7 @@ func (s *server) failJob(id string, err error) {
 		st.mu.Unlock()
 	}
 	s.logf("campaign %s: failed: %v", id, err)
+	s.logTransition(id, "queued", "failed", "err", err.Error())
 }
 
 // finishJob records a completed campaign run in the queue and the
@@ -486,6 +544,11 @@ func (s *server) finishJob(id string, st *campaignState, specList []campaign.Spe
 	s.evictLocked()
 	s.mu.Unlock()
 	s.logf("campaign %s: %s (%d jobs)", id, status, len(specList))
+	attrs := []any{"jobs", len(specList)}
+	if errMsg != "" {
+		attrs = append(attrs, "err", errMsg)
+	}
+	s.logTransition(id, "running", status, attrs...)
 }
 
 // encodeReport marshals the API report shape for the queue's terminal
@@ -658,7 +721,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", s.retryAfter())
 		httpError(w, http.StatusServiceUnavailable, codeDraining,
 			"daemon is shutting down; resubmit to its successor")
 		return
@@ -696,7 +759,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	job, dup, err := s.q.Submit(payload, opts)
 	if errors.Is(err, queue.ErrFull) {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", s.retryAfter())
 		httpError(w, http.StatusTooManyRequests, codeOverloaded,
 			"queue is full (%d pending); retry later", s.q.StatsSnapshot().Pending)
 		return
@@ -740,6 +803,8 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 		s.logf("campaign %s: queued %d jobs (priority %d)", job.ID, len(specList), job.Priority)
+		s.logTransition(job.ID, "", "queued", "jobs", len(specList), "priority", job.Priority,
+			"request_id", logging.RequestID(r.Context()))
 	}
 
 	w.Header().Set("Location", "/v1/campaigns/"+job.ID)
@@ -799,6 +864,8 @@ func (s *server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
 		st.bumpLocked()
 		st.mu.Unlock()
 		s.logf("campaign %s: cancelled while queued", id)
+		s.logTransition(id, "queued", "cancelled",
+			"request_id", logging.RequestID(r.Context()))
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "cancelled"})
 	case "running":
 		if cancel != nil {
@@ -948,6 +1015,9 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	s.om.sseSubs.Inc()
+	defer s.om.sseSubs.Dec()
+
 	sent := 0
 	for {
 		st.mu.Lock()
@@ -964,7 +1034,12 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			if _, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data); werr != nil {
+				// The subscriber's connection is gone; every remaining
+				// event for this stream is undeliverable.
+				s.om.sseDropped.Inc()
+				return
+			}
 		}
 		if len(pending) > 0 {
 			fl.Flush()
@@ -1288,11 +1363,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.campaigns)
 	s.mu.Unlock()
+	qs := s.q.StatsSnapshot()
+	ss := s.st.StatsSnapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"campaigns": n,
-		"store":     s.st.StatsSnapshot(),
-		"queue":     s.q.StatsSnapshot(),
+		// Top-level probe fields; the full snapshots nest below.
+		"queue_depth":   qs.Pending,
+		"cache_entries": ss.Entries,
+		"store":         ss,
+		"queue":         qs,
 	})
 }
 

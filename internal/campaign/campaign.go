@@ -33,6 +33,7 @@ import (
 	"dramdig/internal/core"
 	"dramdig/internal/machine"
 	"dramdig/internal/source"
+	"dramdig/internal/timing"
 	"dramdig/internal/trace"
 )
 
@@ -252,6 +253,14 @@ type Config struct {
 	// job instead; the deterministic per-(job, attempt) seeds make the
 	// re-run produce the result the checkpoint recorded.
 	Restore func(spec Spec, jc JobCheckpoint) (Outcome, bool)
+	// Metrics, when non-nil, receives job-lifecycle counts and
+	// checkpoint latency (see NewMetrics).
+	Metrics *Metrics
+	// Instrument, when non-nil, is attached to every pipeline attempt's
+	// meters (hot-path sample counting; see timing.Instrument). It does
+	// not perturb results — instrumented and bare runs recover identical
+	// mappings.
+	Instrument *timing.Instrument
 }
 
 func (c *Config) setDefaults() {
@@ -307,7 +316,7 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (*Report, error) {
 		}()
 	}
 
-	cpr := newCheckpointer(cfg.Seed, cfg.OnCheckpoint)
+	cpr := newCheckpointer(cfg.Seed, cfg.Metrics.wrapCheckpoint(cfg.OnCheckpoint))
 	jobs := make(chan int)
 	results := make([]JobResult, len(specs))
 	var wg sync.WaitGroup
@@ -349,6 +358,7 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 		name = spec.Def.Name
 	}
 	start := time.Now()
+	cfg.Metrics.jobStarted()
 	emit(Event{Kind: EventJobStarted, Job: name, Index: idx})
 
 	var out Outcome
@@ -391,6 +401,7 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 		} else {
 			cpr.add(jobCheckpoint(idx, jr, out.ToolSeed))
 		}
+		cfg.Metrics.jobFinished(out.Resumed)
 		emit(Event{Kind: EventJobFinished, Job: name, Index: idx,
 			Match: out.Match, Cached: out.Cached, Resumed: out.Resumed,
 			SimSeconds: out.Result.TotalSimSeconds})
@@ -398,6 +409,7 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 		if jr.Err == nil {
 			jr.Err = fmt.Errorf("campaign: wrapper returned neither result nor error")
 		}
+		cfg.Metrics.jobFailed()
 		emit(Event{Kind: EventJobFailed, Job: name, Index: idx, Err: jr.Err.Error()})
 	}
 	return jr
@@ -442,6 +454,11 @@ func runAttempt(ctx context.Context, spec Spec, cfg Config, idx, attempt int) (*
 		toolCfg = *spec.Tool
 	}
 	toolCfg.Seed = cfg.Seed + int64(idx)*7919 + int64(attempt)*104729
+	if cfg.Instrument != nil {
+		// Campaign-level instrumentation wins over a spec's own only when
+		// actually configured.
+		toolCfg.Instrument = cfg.Instrument
+	}
 	if sg, ok := src.(source.SeedSuggester); ok {
 		// Replay sources carry the recorded tool seed; a derived one
 		// would make strict replays diverge.

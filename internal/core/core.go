@@ -86,6 +86,10 @@ type Config struct {
 	// ("calibrate", "coarse", "partition", "resolve", "fine") with its
 	// cost — the engine's WithProgress hook.
 	OnStep func(step string, stats StepStats)
+	// Instrument, when set, is attached to every meter the run creates:
+	// hot-path sample counting and latency distribution (see
+	// timing.Instrument). Nil costs one branch per raw measurement.
+	Instrument *timing.Instrument
 }
 
 func (c *Config) setDefaults() {
@@ -300,11 +304,13 @@ func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	meter.SetInstrument(t.cfg.Instrument)
 	t.meter = meter
 	pmeter, err := timing.NewMeter(t.target, t.cfg.PartitionRounds, 3)
 	if err != nil {
 		return nil, err
 	}
+	pmeter.SetInstrument(t.cfg.Instrument)
 	t.pmeter = pmeter
 	stepClock, stepMeas := t.target.ClockNs(), t.measurements()
 	calSamples := t.cfg.CalibSamples

@@ -19,7 +19,9 @@ import (
 	"io"
 
 	"dramdig/internal/core"
+	"dramdig/internal/metrics"
 	"dramdig/internal/source"
+	"dramdig/internal/timing"
 	"dramdig/internal/trace"
 )
 
@@ -92,6 +94,31 @@ func WithProgress(fn func(step string, stats core.StepStats)) Option {
 			}
 			fn(step, stats)
 		}
+	}
+}
+
+// WithInstrument attaches hot-path measurement instrumentation to every
+// meter the run creates. A nil instrument detaches it. Note WithConfig
+// replaces the full configuration including the instrument, so order
+// WithInstrument after WithConfig.
+func WithInstrument(in *timing.Instrument) Option {
+	return func(s *settings) { s.cfg.Instrument = in }
+}
+
+// NewInstrument registers the engine's hot-path metric family pair on r
+// and returns the instrument to pass to WithInstrument:
+// dramdig_engine_samples_total counts raw MeasurePair calls and
+// dramdig_engine_sample_latency_ns is the distribution of measured
+// per-access latencies — on a calibrated channel it renders the bimodal
+// hit/conflict split directly. A nil registry returns a usable no-op
+// instrument.
+func NewInstrument(r *metrics.Registry) *timing.Instrument {
+	return &timing.Instrument{
+		Samples: r.Counter("dramdig_engine_samples_total",
+			"Raw MeasurePair samples taken by the pipeline.", nil),
+		LatencyNs: r.Histogram("dramdig_engine_sample_latency_ns",
+			"Measured per-access latencies (ns); bimodal on a working channel.",
+			metrics.ExpBuckets(25, 1.5, 12), nil),
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"dramdig/internal/addr"
 	"dramdig/internal/core"
 	"dramdig/internal/machine"
+	"dramdig/internal/metrics"
 	"dramdig/internal/source"
 	"dramdig/internal/trace"
 )
@@ -157,5 +159,42 @@ func TestRunProgress(t *testing.T) {
 	}
 	if len(steps2) != len(want) {
 		t.Fatalf("second progress callback saw %v", steps2)
+	}
+}
+
+// TestRunInstrumented: WithInstrument counts every raw measurement and
+// feeds the latency distribution; the run result is identical to an
+// uninstrumented run (instrumentation must not perturb the pipeline).
+func TestRunInstrumented(t *testing.T) {
+	r := metrics.NewRegistry()
+	in := NewInstrument(r)
+	res, err := New().Run(context.Background(), source.Live(testMachine(t)),
+		WithSeed(7), WithInstrument(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Samples.Value(); got == 0 || got != in.LatencyNs.Count() {
+		t.Fatalf("samples counter %d, histogram count %d", got, in.LatencyNs.Count())
+	}
+	if in.Samples.Value() != res.Measurements {
+		t.Fatalf("instrument saw %d samples, result reports %d measurements",
+			in.Samples.Value(), res.Measurements)
+	}
+
+	bare, err := New().Run(context.Background(), source.Live(testMachine(t)), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Mapping.Fingerprint() != res.Mapping.Fingerprint() {
+		t.Fatal("instrumentation changed the recovered mapping")
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dramdig_engine_samples_total") ||
+		!strings.Contains(sb.String(), "dramdig_engine_sample_latency_ns_bucket") {
+		t.Errorf("render missing engine families:\n%s", sb.String())
 	}
 }

@@ -1,0 +1,106 @@
+package logging
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"Error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestNewFormatsAndLevels(t *testing.T) {
+	var sb strings.Builder
+	log, err := New(&sb, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped", "k", 1)
+	log.Warn("kept", "campaign", "c1")
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line at warn level, got %d: %q", len(lines), sb.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("json format produced non-JSON line %q", lines[0])
+	}
+	if m["msg"] != "kept" || m["campaign"] != "c1" {
+		t.Errorf("line: %v", m)
+	}
+
+	sb.Reset()
+	log, err = New(&sb, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hello", "n", 3)
+	if !strings.Contains(sb.String(), "msg=hello") || !strings.Contains(sb.String(), "n=3") {
+		t.Errorf("text line: %q", sb.String())
+	}
+
+	if _, err := New(&sb, "yaml", "info"); err == nil {
+		t.Error("New accepted unknown format")
+	}
+	if _, err := New(&sb, "text", "loud"); err == nil {
+		t.Error("New accepted unknown level")
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen()
+	const workers, per = 8, 200
+	ids := make(chan string, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids <- g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+	// Two generators must not mint the same IDs (random prefix).
+	if NewIDGen().Next() == NewIDGen().Next() {
+		t.Error("independent generators collided on the first ID")
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Error("empty context has a request ID")
+	}
+	ctx = WithRequestID(ctx, "abc-1")
+	if got := RequestID(ctx); got != "abc-1" {
+		t.Errorf("RequestID = %q", got)
+	}
+}

@@ -1,0 +1,496 @@
+// Package metrics is the repository's dependency-free instrumentation
+// layer: atomic counters, gauges and fixed-bucket histograms collected
+// into a Registry that renders the Prometheus text exposition format.
+// Every layer of the stack — queue, store, engine hot path, campaign
+// scheduler, HTTP daemon — registers its metrics here, and dramdigd
+// serves the registry at GET /v1/metrics.
+//
+// Two properties shape the design:
+//
+//   - Hot-path safety. Metric updates are single atomic operations (the
+//     histogram adds one CAS for its sum) and never allocate, so the
+//     engine's MeasurePair loop can observe every sample. All metric
+//     methods are nil-receiver no-ops: code instruments unconditionally
+//     and a nil metric — what a nil *Registry hands out — disables the
+//     instrumentation at the cost of one predictable branch.
+//
+//   - No dependencies. The package imports only the standard library, so
+//     internal/timing and internal/queue can use it without dragging an
+//     exporter into the measurement layers.
+//
+// Registration is idempotent: asking for the same name and label set
+// again returns the existing metric, so independent components can share
+// a family. Conflicting re-registration (same name, different type or
+// buckets) panics — that is a programming error, caught at startup.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attach dimensions to a metric at registration time. A nil map
+// means the unlabeled child of the family.
+type Labels map[string]string
+
+// Counter is a monotonically increasing counter. All methods are safe on
+// a nil receiver (no-ops), so disabled instrumentation is a nil pointer.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: cumulative bucket counts in the
+// Prometheus style, plus sum and count. Buckets are upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// atomicFloat is a float64 accumulated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// ExpBuckets returns n upper bounds starting at start, each factor times
+// the previous — the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("metrics: ExpBuckets needs n >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefSecondsBuckets spans 100µs to ~27s — a general-purpose latency
+// range covering fsyncs, disk IO and HTTP requests.
+func DefSecondsBuckets() []float64 { return ExpBuckets(100e-6, 3, 8) }
+
+// metricKind is the family type, named as the exposition format spells it.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// child is one labeled instance inside a family. Exactly one of the
+// value fields is set.
+type child struct {
+	labels  Labels
+	sig     string // canonical label signature, the dedup key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // counterFunc / gaugeFunc callback
+}
+
+// family groups the children sharing one metric name.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	buckets  []float64 // histograms only; conflict-checked on re-registration
+	children []*child
+	index    map[string]*child
+}
+
+// Registry collects metric families and renders them. A nil *Registry is
+// a valid no-op: every constructor returns a nil metric whose methods do
+// nothing — the "disabled" configuration.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, nil, labels, nil).counter
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, nil, labels, nil).gauge
+}
+
+// Histogram registers (or finds) a histogram with the given upper
+// bounds (ascending; +Inf implicit). Re-registration must use the same
+// bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not ascending", name))
+		}
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %s needs at least one bucket", name))
+	}
+	return r.register(name, help, kindHistogram, buckets, labels, nil).hist
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time — for values another component already tracks (queue depth, LRU
+// entries).
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, nil, labels, fn)
+}
+
+// CounterFunc registers a counter read from fn at render time; fn must
+// be monotonically non-decreasing (it reports a cumulative total some
+// other component counts, like store hits).
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, nil, labels, fn)
+}
+
+// Declare registers an empty family so its # HELP/# TYPE header renders
+// before any child exists — scrape consumers see the family from the
+// first scrape even when the first event hasn't happened yet.
+func (r *Registry) Declare(name, help string, kind string) {
+	if r == nil {
+		return
+	}
+	k := metricKind(kind)
+	switch k {
+	case kindCounter, kindGauge, kindHistogram:
+	default:
+		panic(fmt.Sprintf("metrics: Declare %s: unknown kind %q", name, kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyLocked(name, help, k, nil)
+}
+
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labels Labels, fn func() float64) *child {
+	mustValidName(name)
+	for k := range labels {
+		mustValidName(k)
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kind, buckets)
+	if c, ok := f.index[sig]; ok {
+		if (c.fn == nil) != (fn == nil) {
+			panic(fmt.Sprintf("metrics: %s%s re-registered with a different collection mode", name, sig))
+		}
+		return c
+	}
+	c := &child{labels: cloneLabels(labels), sig: sig, fn: fn}
+	// The instrument is built here, under the lock: concurrent
+	// registrations of the same (name, labels) must all observe the same
+	// fully-constructed value.
+	if fn == nil {
+		switch kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			c.hist = &Histogram{
+				bounds: append([]float64(nil), f.buckets...),
+				counts: make([]atomic.Uint64, len(f.buckets)+1),
+			}
+		}
+	}
+	f.children = append(f.children, c)
+	f.index[sig] = c
+	return c
+}
+
+func (r *Registry) familyLocked(name, help string, kind metricKind, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind,
+			buckets: append([]float64(nil), buckets...),
+			index:   make(map[string]*child),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	if kind == kindHistogram {
+		if len(f.buckets) == 0 {
+			f.buckets = append([]float64(nil), buckets...)
+		} else if buckets != nil && !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("metrics: histogram %s re-registered with different buckets", name))
+		}
+	}
+	return f
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// mustValidName enforces the Prometheus identifier grammar.
+func mustValidName(name string) {
+	if name == "" {
+		panic("metrics: empty name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid name %q", name))
+		}
+	}
+}
+
+// labelSignature canonicalizes a label set: sorted, escaped, rendered —
+// both the dedup key and the rendered form.
+func labelSignature(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes quotes, backslashes and newlines exactly as the
+		// exposition format requires.
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelsWith renders a label set extended with one extra pair (for
+// histogram le labels).
+func labelsWith(sig, key, val string) string {
+	extra := fmt.Sprintf("%s=%q", key, val)
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every family in name order in the text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.children {
+			renderChild(&b, f, c)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderChild(b *strings.Builder, f *family, c *child) {
+	switch {
+	case c.fn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, c.sig, formatFloat(c.fn()))
+	case c.counter != nil:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, c.sig, c.counter.Value())
+	case c.gauge != nil:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, c.sig, c.gauge.Value())
+	case c.hist != nil:
+		var cum uint64
+		for i, bound := range c.hist.bounds {
+			cum += c.hist.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWith(c.sig, "le", formatFloat(bound)), cum)
+		}
+		cum += c.hist.counts[len(c.hist.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWith(c.sig, "le", "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, c.sig, formatFloat(c.hist.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, c.sig, c.hist.Count())
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry over HTTP — what dramdigd mounts at
+// /v1/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

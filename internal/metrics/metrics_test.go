@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "", nil)
+	g := r.Gauge("x", "", nil)
+	h := r.Histogram("x_seconds", "", []float64{1}, nil)
+	r.GaugeFunc("y", "", nil, func() float64 { return 1 })
+	r.CounterFunc("y_total", "", nil, func() float64 { return 1 })
+	r.Declare("z_total", "", "counter")
+	c.Inc()
+	c.Add(10)
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics recorded values")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry rendered %q (%v)", sb.String(), err)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", nil)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "Depth.", nil)
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h", Labels{"tier": "mem"})
+	b := r.Counter("hits_total", "h", Labels{"tier": "mem"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("hits_total", "h", Labels{"tier": "disk"})
+	if a == other {
+		t.Fatal("distinct labels shared a counter")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("a_total", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "", nil)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dramdig_http_requests_total", "HTTP requests.", Labels{"route": "/v1/queue", "method": "GET", "code": "200"}).Add(3)
+	r.Gauge("dramdig_queue_depth", "Pending jobs.", nil).Set(2)
+	r.GaugeFunc("dramdig_store_entries", "LRU entries.", nil, func() float64 { return 11 })
+	r.CounterFunc("dramdig_store_hits_total", "Store hits.", nil, func() float64 { return 42 })
+	r.Declare("dramdig_engine_samples_total", "Raw samples.", "counter")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP dramdig_http_requests_total HTTP requests.\n# TYPE dramdig_http_requests_total counter\n",
+		`dramdig_http_requests_total{code="200",method="GET",route="/v1/queue"} 3`,
+		"# TYPE dramdig_queue_depth gauge\ndramdig_queue_depth 2",
+		"dramdig_store_entries 11",
+		"dramdig_store_hits_total 42",
+		// Declared-but-empty family still renders its header.
+		"# TYPE dramdig_engine_samples_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "dramdig_engine_samples_total") > strings.Index(out, "dramdig_queue_depth") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Labels{"v": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{v="a\"b\\c\nd"} 1`; !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped render missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if b := DefSecondsBuckets(); len(b) == 0 || b[0] != 100e-6 {
+		t.Fatalf("DefSecondsBuckets = %v", b)
+	}
+}
+
+// TestConcurrentUpdates exercises the atomic paths under the race
+// detector: concurrent counter/gauge/histogram updates plus renders.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h_seconds", "", DefSecondsBuckets(), nil)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 0.001)
+				if i%100 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestConcurrentRegistration: many goroutines lazily registering the
+// same children (the HTTP middleware's access pattern) must all observe
+// the same fully-constructed instruments and lose no increments.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, rounds = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.Counter("req_total", "Requests.", Labels{"code": "200"}).Inc()
+				r.Histogram("req_seconds", "Durations.", []float64{0.01, 0.1, 1}, Labels{"code": "200"}).Observe(0.05)
+				r.Gauge("inflight", "In flight.", nil).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	const want = goroutines * rounds
+	if got := r.Counter("req_total", "Requests.", Labels{"code": "200"}).Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Histogram("req_seconds", "Durations.", []float64{0.01, 0.1, 1}, Labels{"code": "200"}).Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := r.Gauge("inflight", "In flight.", nil).Value(); got != want {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dramdig/internal/metrics"
 )
 
 // State is a job's position in the lifecycle.
@@ -153,7 +155,8 @@ type SubmitOptions struct {
 	IdempotencyKey string
 }
 
-// Stats is a point-in-time census of the queue.
+// Stats is a point-in-time census of the queue, plus cumulative
+// process-lifetime counters (not persisted across restarts).
 type Stats struct {
 	Capacity  int `json:"capacity"`
 	Pending   int `json:"pending"`
@@ -163,6 +166,14 @@ type Stats struct {
 	Cancelled int `json:"cancelled"`
 	// Recovered counts non-terminal jobs that survived a process death.
 	Recovered int `json:"recovered"`
+	// Submitted counts accepted Submit calls; Deduped the submissions
+	// answered by an idempotency-key match instead of a new job.
+	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
+	// Requeued counts in-flight jobs Open returned to the backlog after
+	// a process death; Compactions counts snapshot compactions.
+	Requeued    uint64 `json:"requeued"`
+	Compactions uint64 `json:"compactions"`
 }
 
 // Queue is safe for concurrent use.
@@ -177,6 +188,16 @@ type Queue struct {
 	wal     *os.File // nil in memory mode
 	walLen  int      // records since last compaction
 	closed  bool
+
+	// Cumulative counters surfaced through Stats.
+	submitted   uint64
+	deduped     uint64
+	requeued    uint64
+	compactions uint64
+	// WAL latency histograms (nil until RegisterMetrics; Observe on a
+	// nil histogram is a no-op).
+	walAppend *metrics.Histogram
+	walFsync  *metrics.Histogram
 
 	ready chan struct{} // signaled (cap 1) when pending work appears
 }
@@ -236,6 +257,7 @@ func Open(cfg Config) (*Queue, error) {
 		if j.State.InFlight() {
 			j.State = StateSubmitted
 			j.Recovered = true
+			q.requeued++
 		}
 	}
 	q.pending = 0
@@ -428,6 +450,7 @@ func (q *Queue) append(rec walRecord) error {
 	if q.wal == nil {
 		return nil
 	}
+	start := time.Now()
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("queue: encode WAL record: %w", err)
@@ -436,9 +459,12 @@ func (q *Queue) append(rec walRecord) error {
 	if _, err := q.wal.Write(data); err != nil {
 		return fmt.Errorf("queue: %w", err)
 	}
+	fsyncStart := time.Now()
 	if err := q.wal.Sync(); err != nil {
 		return fmt.Errorf("queue: %w", err)
 	}
+	q.walFsync.Observe(time.Since(fsyncStart).Seconds())
+	q.walAppend.Observe(time.Since(start).Seconds())
 	q.walLen++
 	if q.walLen >= q.cfg.CompactEvery {
 		return q.compactAndResetLocked()
@@ -495,6 +521,7 @@ func (q *Queue) compactLocked() error {
 		return err
 	}
 	q.walLen = 0
+	q.compactions++
 	return nil
 }
 
@@ -541,6 +568,7 @@ func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, 
 	if opts.IdempotencyKey != "" {
 		if id, ok := q.byKey[opts.IdempotencyKey]; ok {
 			if j, ok := q.jobs[id]; ok {
+				q.deduped++
 				return j.clone(), true, nil
 			}
 			delete(q.byKey, opts.IdempotencyKey) // job evicted; key expired
@@ -574,6 +602,7 @@ func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, 
 		}
 		return Job{}, false, err
 	}
+	q.submitted++
 	q.wake()
 	return j, false, nil
 }
@@ -723,7 +752,13 @@ func (q *Queue) Jobs() []Job {
 func (q *Queue) StatsSnapshot() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	st := Stats{Capacity: q.cfg.Capacity}
+	st := Stats{
+		Capacity:    q.cfg.Capacity,
+		Submitted:   q.submitted,
+		Deduped:     q.deduped,
+		Requeued:    q.requeued,
+		Compactions: q.compactions,
+	}
 	for _, j := range q.jobs {
 		switch j.State {
 		case StateSubmitted:
@@ -742,6 +777,38 @@ func (q *Queue) StatsSnapshot() Stats {
 		}
 	}
 	return st
+}
+
+// RegisterMetrics wires the queue into a metrics registry: backlog and
+// scheduler gauges read live from StatsSnapshot, cumulative submit /
+// dedup / requeue / compaction counters, and WAL append + fsync latency
+// histograms observed on every durable transition. A nil registry is a
+// no-op (the histograms stay nil, which Observe treats as disabled).
+func (q *Queue) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("dramdig_queue_depth", "Jobs waiting in the backlog (state submitted).", nil,
+		func() float64 { return float64(q.StatsSnapshot().Pending) })
+	r.GaugeFunc("dramdig_queue_running", "Jobs handed to the scheduler (running or checkpointed).", nil,
+		func() float64 { return float64(q.StatsSnapshot().Running) })
+	r.GaugeFunc("dramdig_queue_capacity", "Configured pending-backlog capacity.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Capacity) })
+	r.CounterFunc("dramdig_queue_submitted_total", "Jobs accepted by Submit.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Submitted) })
+	r.CounterFunc("dramdig_queue_deduped_total", "Submissions answered by an idempotency-key match.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Deduped) })
+	r.CounterFunc("dramdig_queue_requeued_total", "Interrupted jobs re-queued at recovery.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Requeued) })
+	r.CounterFunc("dramdig_queue_compactions_total", "WAL snapshot compactions.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Compactions) })
+	walBuckets := metrics.ExpBuckets(10e-6, 4, 10) // 10µs .. ~2.6s
+	q.mu.Lock()
+	q.walAppend = r.Histogram("dramdig_wal_append_seconds",
+		"Full WAL append latency (encode + write + fsync) per record.", walBuckets, nil)
+	q.walFsync = r.Histogram("dramdig_wal_fsync_seconds",
+		"WAL fsync latency per record.", walBuckets, nil)
+	q.mu.Unlock()
 }
 
 // Ready is signaled (capacity-1 channel) whenever pending work may have

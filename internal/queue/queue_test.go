@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+
+	"dramdig/internal/metrics"
 	"testing"
 )
 
@@ -379,5 +382,43 @@ func TestQueueConcurrent(t *testing.T) {
 	st := q.StatsSnapshot()
 	if st.Done != producers*perProducer || st.Pending != 0 || st.Running != 0 {
 		t.Fatalf("final stats %+v", st)
+	}
+}
+
+// TestQueueMetrics: RegisterMetrics exposes gauges reading live queue
+// state, cumulative counters and WAL latency histograms.
+func TestQueueMetrics(t *testing.T) {
+	r := metrics.NewRegistry()
+	q := openTest(t, Config{})
+	q.RegisterMetrics(r)
+
+	mustSubmit(t, q, `{"n":1}`, SubmitOptions{IdempotencyKey: "k1"})
+	mustSubmit(t, q, `{"n":2}`, SubmitOptions{})
+	if _, dup, err := q.Submit(json.RawMessage(`{"n":1}`), SubmitOptions{IdempotencyKey: "k1"}); err != nil || !dup {
+		t.Fatalf("dup submit: dup=%v err=%v", dup, err)
+	}
+	if _, ok, err := q.Dequeue(); err != nil || !ok {
+		t.Fatalf("dequeue: ok=%v err=%v", ok, err)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dramdig_queue_depth 1",
+		"dramdig_queue_running 1",
+		"dramdig_queue_submitted_total 2",
+		"dramdig_queue_deduped_total 1",
+		"# TYPE dramdig_wal_fsync_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics render missing %q:\n%s", want, out)
+		}
+	}
+	st := q.StatsSnapshot()
+	if st.Submitted != 2 || st.Deduped != 1 {
+		t.Fatalf("stats counters: %+v", st)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dramdig/internal/mapping"
+	"dramdig/internal/metrics"
 )
 
 // Record is one cached result: the recovered mapping plus the run
@@ -102,6 +103,10 @@ type Stats struct {
 	// compute; the record is still served from memory (GetOrCompute
 	// treats persistence as best-effort).
 	PersistErrors uint64 `json:"persist_errors"`
+	// NegativeLookups counts public Get calls that found nothing in any
+	// tier — requests for fingerprints the store has never seen (distinct
+	// from GetOrCompute misses, which turn into computes).
+	NegativeLookups uint64 `json:"negative_lookups"`
 }
 
 // Store is safe for concurrent use.
@@ -113,6 +118,10 @@ type Store struct {
 	items  map[string]*list.Element // value: *Record
 	flight map[string]*flightCall
 	stats  Stats
+
+	// Disk-tier latency histograms; nil (no-op) until RegisterMetrics.
+	diskRead  *metrics.Histogram
+	diskWrite *metrics.Histogram
 
 	// Trace tier: disk under traceDir, or the bounded memTraces map
 	// (FIFO by memTraceOrder) when no directory is configured.
@@ -166,6 +175,9 @@ func (s *Store) Get(fp string) (*Record, bool, error) {
 	rec, err := s.getLocked(fp)
 	if err != nil {
 		return nil, false, err
+	}
+	if rec == nil {
+		s.stats.NegativeLookups++
 	}
 	return rec, rec != nil, nil
 }
@@ -252,6 +264,34 @@ func (s *Store) StatsSnapshot() Stats {
 	return st
 }
 
+// RegisterMetrics wires the store into a metrics registry: cache-outcome
+// counters read live from StatsSnapshot, the current LRU population, and
+// disk-tier read/write latency histograms. A nil registry is a no-op.
+func (s *Store) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("dramdig_store_hits_total", "Lookups served from memory or disk.", nil,
+		func() float64 { return float64(s.StatsSnapshot().Hits) })
+	r.CounterFunc("dramdig_store_misses_total", "Lookups that found no record.", nil,
+		func() float64 { return float64(s.StatsSnapshot().Misses) })
+	r.CounterFunc("dramdig_store_computes_total", "Pipeline computes executed (single-flight leaders).", nil,
+		func() float64 { return float64(s.StatsSnapshot().Computes) })
+	r.CounterFunc("dramdig_store_persist_errors_total", "Best-effort disk writes that failed after a compute.", nil,
+		func() float64 { return float64(s.StatsSnapshot().PersistErrors) })
+	r.CounterFunc("dramdig_store_negative_lookups_total", "Get calls for fingerprints the store has never seen.", nil,
+		func() float64 { return float64(s.StatsSnapshot().NegativeLookups) })
+	r.GaugeFunc("dramdig_store_entries", "Records in the in-memory LRU tier.", nil,
+		func() float64 { return float64(s.Len()) })
+	diskBuckets := metrics.ExpBuckets(10e-6, 4, 10) // 10µs .. ~2.6s
+	s.mu.Lock()
+	s.diskRead = r.Histogram("dramdig_store_disk_read_seconds",
+		"Disk-tier record read latency.", diskBuckets, nil)
+	s.diskWrite = r.Histogram("dramdig_store_disk_write_seconds",
+		"Disk-tier record write latency (temp file + rename).", diskBuckets, nil)
+	s.mu.Unlock()
+}
+
 // Len returns the in-memory entry count.
 func (s *Store) Len() int {
 	s.mu.Lock()
@@ -267,7 +307,9 @@ func (s *Store) getLocked(fp string) (*Record, error) {
 		return el.Value.(*Record), nil
 	}
 	if s.dir != "" && ValidFingerprint(fp) {
+		readStart := time.Now()
 		data, err := os.ReadFile(s.path(fp))
+		s.diskRead.Observe(time.Since(readStart).Seconds())
 		if err == nil {
 			var rec Record
 			if uerr := json.Unmarshal(data, &rec); uerr != nil {
@@ -318,12 +360,14 @@ func (s *Store) putLocked(rec *Record, persist bool) error {
 		}
 		path := s.path(rec.Fingerprint)
 		tmp := path + ".tmp"
+		writeStart := time.Now()
 		if err := os.WriteFile(tmp, data, 0o644); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 		if err := os.Rename(tmp, path); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
+		s.diskWrite.Observe(time.Since(writeStart).Seconds())
 	}
 	return nil
 }

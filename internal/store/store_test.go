@@ -10,7 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"dramdig/internal/machine"
+	"dramdig/internal/metrics"
 )
 
 func testRecord(t *testing.T, fp string) *Record {
@@ -387,5 +390,47 @@ func TestStoreTraceTierMemory(t *testing.T) {
 	}
 	if _, ok, _ := s.GetTrace(fp(2)); !ok {
 		t.Fatal("overwrite evicted a sibling")
+	}
+}
+
+// TestStoreMetrics: RegisterMetrics exposes cache-outcome counters, the
+// LRU population gauge and disk-tier latency histograms.
+func TestStoreMetrics(t *testing.T) {
+	r := metrics.NewRegistry()
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterMetrics(r)
+
+	if err := s.Put(testRecord(t, fp(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp(1)); err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := s.Get(fp(2)); err != nil || ok {
+		t.Fatalf("negative get: ok=%v err=%v", ok, err)
+	}
+
+	st := s.StatsSnapshot()
+	if st.Hits != 1 || st.NegativeLookups != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dramdig_store_hits_total 1",
+		"dramdig_store_negative_lookups_total 1",
+		"dramdig_store_entries 1",
+		"dramdig_store_disk_write_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics render missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"dramdig/internal/addr"
 	"dramdig/internal/alloc"
+	"dramdig/internal/metrics"
 	"dramdig/internal/sysinfo"
 )
 
@@ -40,6 +41,29 @@ type Target interface {
 // by construction — standard domain knowledge used by every tool.
 const CacheLineBits = 6
 
+// Instrument is hot-path measurement instrumentation shared by a run's
+// meters: a raw-sample throughput counter and a histogram of the measured
+// latencies themselves (ns) — the latter renders the bimodal SBDR
+// distribution directly on /v1/metrics. A nil *Instrument is a no-op, so
+// the uninstrumented hot path pays exactly one predictable branch per raw
+// measurement.
+type Instrument struct {
+	// Samples counts raw MeasurePair calls.
+	Samples *metrics.Counter
+	// LatencyNs is the distribution of measured per-access latencies.
+	LatencyNs *metrics.Histogram
+}
+
+// observe records one raw measurement. The metric types are themselves
+// nil-safe, so a partially populated Instrument works too.
+func (in *Instrument) observe(v float64) {
+	if in == nil {
+		return
+	}
+	in.Samples.Inc()
+	in.LatencyNs.Observe(v)
+}
+
 // Meter wraps a Target with a measurement policy: rounds per measurement,
 // median-of-repeats robustness, a calibrated conflict threshold, and
 // sentinel pairs that detect when platform drift has invalidated the
@@ -50,6 +74,7 @@ type Meter struct {
 	repeats  int
 	thresh   float64
 	measures uint64
+	inst     *Instrument
 
 	haveSentinels bool
 	sentinelLow   [2]addr.Phys // a pair known not to conflict
@@ -81,6 +106,9 @@ func (m *Meter) SetThreshold(t float64) { m.thresh = t }
 // Rounds returns the configured rounds per raw measurement.
 func (m *Meter) Rounds() int { return m.rounds }
 
+// SetInstrument attaches hot-path instrumentation (nil detaches it).
+func (m *Meter) SetInstrument(in *Instrument) { m.inst = in }
+
 // Sample measures the pair repeats times and returns the median latency.
 func (m *Meter) Sample(a, b addr.Phys) float64 {
 	return m.SampleN(a, b, m.repeats)
@@ -95,6 +123,7 @@ func (m *Meter) SampleN(a, b addr.Phys, n int) float64 {
 	for i := range samples {
 		samples[i] = m.target.MeasurePair(a, b, m.rounds)
 		m.measures++
+		m.inst.observe(samples[i])
 	}
 	return median(samples)
 }
@@ -109,7 +138,9 @@ func (m *Meter) IsConflict(a, b addr.Phys) bool {
 // partition inner loop uses it with its own tolerance machinery.
 func (m *Meter) IsConflictOnce(a, b addr.Phys) bool {
 	m.measures++
-	return m.target.MeasurePair(a, b, m.rounds) >= m.thresh
+	v := m.target.MeasurePair(a, b, m.rounds)
+	m.inst.observe(v)
+	return v >= m.thresh
 }
 
 // CalibrationResult describes the fitted latency distribution.
