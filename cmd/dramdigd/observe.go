@@ -136,24 +136,29 @@ func (s *server) observe(next http.Handler) http.Handler {
 
 		s.om.inflight.Inc()
 		start := time.Now()
-		next.ServeHTTP(out, r)
-		dur := time.Since(start)
-		s.om.inflight.Dec()
+		// The accounting is deferred so a panicking handler — which
+		// net/http recovers per-connection — still decrements the
+		// in-flight gauge and gets counted and logged.
+		defer func() {
+			dur := time.Since(start)
+			s.om.inflight.Dec()
 
-		if sw.status == 0 {
-			// Handler wrote nothing; net/http sends 200 on return.
-			sw.status = http.StatusOK
-		}
-		route := routeLabel(r)
-		s.om.record(route, r.Method, sw.status, dur)
-		s.log.Info("request",
-			"method", r.Method,
-			"route", route,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"duration_ms", float64(dur.Microseconds())/1000,
-			"request_id", reqID,
-		)
+			if sw.status == 0 {
+				// Handler wrote nothing; net/http sends 200 on return.
+				sw.status = http.StatusOK
+			}
+			route := routeLabel(r)
+			s.om.record(route, r.Method, sw.status, dur)
+			s.log.Info("request",
+				"method", r.Method,
+				"route", route,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(dur.Microseconds())/1000,
+				"request_id", reqID,
+			)
+		}()
+		next.ServeHTTP(out, r)
 	})
 }
 

@@ -298,7 +298,7 @@ func (r *Registry) Declare(name, help string, kind string) {
 func (r *Registry) register(name, help string, kind metricKind, buckets []float64, labels Labels, fn func() float64) *child {
 	mustValidName(name)
 	for k := range labels {
-		mustValidName(k)
+		mustValidLabelName(k)
 	}
 	sig := labelSignature(labels)
 	r.mu.Lock()
@@ -379,7 +379,8 @@ func cloneLabels(l Labels) Labels {
 	return out
 }
 
-// mustValidName enforces the Prometheus identifier grammar.
+// mustValidName enforces the Prometheus metric-name grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
 func mustValidName(name string) {
 	if name == "" {
 		panic("metrics: empty name")
@@ -393,6 +394,29 @@ func mustValidName(name string) {
 		}
 	}
 }
+
+// mustValidLabelName enforces the label-name grammar
+// ([a-zA-Z_][a-zA-Z0-9_]*) — unlike metric names, colons are not legal
+// in label names.
+func mustValidLabelName(name string) {
+	if name == "" {
+		panic("metrics: empty label name")
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid label name %q", name))
+		}
+	}
+}
+
+// labelValueEscaper escapes exactly what the text exposition format
+// defines for label values: backslash, double-quote and newline. Go's %q
+// would also emit \t, \xNN and \uNNNN escapes the format's parsers
+// reject.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 // labelSignature canonicalizes a label set: sorted, escaped, rendered —
 // both the dedup key and the rendered form.
@@ -411,9 +435,10 @@ func labelSignature(l Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		// %q escapes quotes, backslashes and newlines exactly as the
-		// exposition format requires.
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelValueEscaper.Replace(l[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -422,11 +447,24 @@ func labelSignature(l Labels) string {
 // labelsWith renders a label set extended with one extra pair (for
 // histogram le labels).
 func labelsWith(sig, key, val string) string {
-	extra := fmt.Sprintf("%s=%q", key, val)
+	extra := key + `="` + labelValueEscaper.Replace(val) + `"`
 	if sig == "" {
 		return "{" + extra + "}"
 	}
 	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// famSnapshot is what WritePrometheus copies out of a family while
+// holding the registry lock: register() appends to family.children under
+// r.mu, so rendering must not read the live slice after unlocking. The
+// child pointers themselves are safe to share — a child is fully built
+// before it is published and never mutated afterwards; its values are
+// atomics.
+type famSnapshot struct {
+	name     string
+	help     string
+	kind     metricKind
+	children []*child
 }
 
 // WritePrometheus renders every family in name order in the text
@@ -441,9 +479,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
+	fams := make([]famSnapshot, len(names))
 	for i, name := range names {
-		fams[i] = r.families[name]
+		f := r.families[name]
+		fams[i] = famSnapshot{
+			name:     f.name,
+			help:     f.help,
+			kind:     f.kind,
+			children: append([]*child(nil), f.children...),
+		}
 	}
 	r.mu.Unlock()
 
@@ -454,31 +498,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, c := range f.children {
-			renderChild(&b, f, c)
+			renderChild(&b, f.name, c)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func renderChild(b *strings.Builder, f *family, c *child) {
+func renderChild(b *strings.Builder, name string, c *child) {
 	switch {
 	case c.fn != nil:
-		fmt.Fprintf(b, "%s%s %s\n", f.name, c.sig, formatFloat(c.fn()))
+		fmt.Fprintf(b, "%s%s %s\n", name, c.sig, formatFloat(c.fn()))
 	case c.counter != nil:
-		fmt.Fprintf(b, "%s%s %d\n", f.name, c.sig, c.counter.Value())
+		fmt.Fprintf(b, "%s%s %d\n", name, c.sig, c.counter.Value())
 	case c.gauge != nil:
-		fmt.Fprintf(b, "%s%s %d\n", f.name, c.sig, c.gauge.Value())
+		fmt.Fprintf(b, "%s%s %d\n", name, c.sig, c.gauge.Value())
 	case c.hist != nil:
 		var cum uint64
 		for i, bound := range c.hist.bounds {
 			cum += c.hist.counts[i].Load()
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWith(c.sig, "le", formatFloat(bound)), cum)
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelsWith(c.sig, "le", formatFloat(bound)), cum)
 		}
 		cum += c.hist.counts[len(c.hist.bounds)].Load()
-		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWith(c.sig, "le", "+Inf"), cum)
-		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, c.sig, formatFloat(c.hist.Sum()))
-		fmt.Fprintf(b, "%s_count%s %d\n", f.name, c.sig, c.hist.Count())
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelsWith(c.sig, "le", "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, c.sig, formatFloat(c.hist.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, c.sig, c.hist.Count())
 	}
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -201,6 +202,58 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if h.Count() != workers*per {
 		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestScrapeDuringRegistration: scraping must be safe while other
+// goroutines register first-seen children — the HTTP middleware mints a
+// new (route, method, code) child on the first request that needs it, so
+// a concurrent scrape must not read the family's children slice
+// unsynchronized. Regression test for a data race in WritePrometheus;
+// run with -race.
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	const goroutines, children = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < children; i++ {
+				code := strconv.Itoa(200 + (g*children+i)%400)
+				route := "/r/" + strconv.Itoa(i)
+				r.Counter("scrape_req_total", "Requests.", Labels{"route": route, "code": code}).Inc()
+				r.Histogram("scrape_req_seconds", "Durations.", []float64{0.01, 0.1, 1}, Labels{"route": route}).Observe(0.05)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	<-scraperDone
+	// One final render must see every registered child.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(sb.String(), `scrape_req_seconds_count{route="/r/0"}`) {
+		t.Errorf("final render missing registered child:\n%s", sb.String())
 	}
 }
 

@@ -309,8 +309,11 @@ func (s *Store) getLocked(fp string) (*Record, error) {
 	if s.dir != "" && ValidFingerprint(fp) {
 		readStart := time.Now()
 		data, err := os.ReadFile(s.path(fp))
-		s.diskRead.Observe(time.Since(readStart).Seconds())
 		if err == nil {
+			// Only successful reads are observed: ENOENT misses return in
+			// microseconds and would skew the latency distribution toward
+			// the low buckets.
+			s.diskRead.Observe(time.Since(readStart).Seconds())
 			var rec Record
 			if uerr := json.Unmarshal(data, &rec); uerr != nil {
 				return nil, fmt.Errorf("store: corrupt record %s: %w", fp, uerr)
