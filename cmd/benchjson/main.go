@@ -11,8 +11,9 @@
 // than the live simulation it recorded, the durable-queue rows
 // (queue_submit, queue_recover) tracking the WAL's fsync-bound submit
 // path and crash-recovery replay throughput, and the metrics_overhead
-// row tracking what the hot-path sample instrumentation costs relative
-// to an uninstrumented run.
+// and tracing_overhead rows tracking what the hot-path sample
+// instrumentation and the per-phase span tracer cost relative to an
+// uninstrumented run.
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"dramdig"
 	"dramdig/internal/engine"
 	"dramdig/internal/metrics"
+	"dramdig/internal/obs"
 	"dramdig/internal/queue"
 	"dramdig/internal/trace"
 )
@@ -86,6 +88,7 @@ func main() {
 	run("trace_replay_strict", benchTraceReplay)
 	run("engine_live", benchEngineLive)
 	run("engine_live_instrumented", benchEngineLiveInstrumented)
+	run("engine_live_traced", benchEngineLiveTraced)
 	run("engine_replay_strict", benchEngineReplay)
 	run("queue_submit", benchQueueSubmit)
 	run("queue_submit_memory", benchQueueSubmitMemory)
@@ -140,6 +143,29 @@ func main() {
 				"bare_ns_op":         bare.NsPerOp,
 				"instrumented_ns_op": inst.NsPerOp,
 				"overhead_pct":       (inst.NsPerOp/bare.NsPerOp - 1) * 100,
+			},
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s overhead %+.2f%%\n",
+			row.Name, row.Metrics["overhead_pct"])
+	}
+
+	// tracing_overhead: the cost of running the same pipeline with a span
+	// tracer on the context — five phase spans per run plus the tracer
+	// check on the sample path. Budget: a few percent over the bare run.
+	traced := byName("engine_live_traced")
+	switch {
+	case bare == nil || traced == nil || bare.NsPerOp <= 0:
+		fmt.Fprintln(os.Stderr, "benchjson: skipping tracing_overhead (inputs missing or degenerate)")
+	default:
+		row := benchResult{
+			Name:       "tracing_overhead",
+			Iterations: traced.Iterations,
+			NsPerOp:    traced.NsPerOp,
+			Metrics: map[string]float64{
+				"bare_ns_op":   bare.NsPerOp,
+				"traced_ns_op": traced.NsPerOp,
+				"overhead_pct": (traced.NsPerOp/bare.NsPerOp - 1) * 100,
 			},
 		}
 		doc.Benchmarks = append(doc.Benchmarks, row)
@@ -277,6 +303,29 @@ func benchEngineLiveInstrumented(b *testing.B) {
 		}
 		res, err := dramdig.Run(context.Background(), dramdig.LiveSource(m),
 			dramdig.WithSeed(42), engine.WithInstrument(inst))
+		if err != nil {
+			b.Fatal(err)
+		}
+		meas = res.Measurements
+	}
+	b.ReportMetric(float64(meas)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchEngineLiveTraced is benchEngineLive with a live span tracer on
+// the context — the traced side of the tracing_overhead comparison.
+// Engine spans are per phase (five per run), so the per-sample hot path
+// pays only the tracer-presence check; the contract is that a traced
+// run stays within a few percent of the bare one.
+func benchEngineLiveTraced(b *testing.B) {
+	tr := obs.NewTracer(obs.Config{Capacity: 4096})
+	ctx := obs.WithTracer(context.Background(), tr)
+	var meas uint64
+	for i := 0; i < b.N; i++ {
+		m, err := dramdig.NewMachine(4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dramdig.Run(ctx, dramdig.LiveSource(m), dramdig.WithSeed(42))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,6 +21,7 @@ import (
 
 	"dramdig"
 	"dramdig/internal/addr"
+	"dramdig/internal/buildinfo"
 	"dramdig/internal/drama"
 	"dramdig/internal/mapping"
 	"dramdig/internal/seaborn"
@@ -36,8 +37,13 @@ func main() {
 		baseline   = flag.String("baseline", "", "run a baseline instead of DRAMDig: drama, xiao or seaborn")
 		jsonOut    = flag.Bool("json", false, "print the recovered mapping as JSON (same schema for every tool)")
 		showReport = flag.Bool("report", false, "print the full run report (DRAMDig only)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("dramdig")
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -9,6 +9,7 @@
 //	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-queue-dir DIR]
 //	         [-workers N] [-retries N] [-max-running N] [-max-queued N] [-v]
 //	         [-pprof-addr :6060] [-log-format text|json] [-log-level info]
+//	         [-trace-spans N] [-trace-slow-threshold DUR] [-version]
 //
 // API (v1, the canonical surface):
 //
@@ -18,6 +19,8 @@
 //	DELETE /v1/campaigns/{id}          cancel: dequeue if queued, stop via context if running
 //	GET    /v1/campaigns/{id}/events   live progress as Server-Sent Events
 //	GET    /v1/campaigns/{id}/trace    recorded timing traces: JSON index, ?job=N streams binary
+//	GET    /v1/campaigns/{id}/spans    the campaign's tracing span tree (see README "Tracing")
+//	GET    /v1/debug/spans             recent finished spans from the in-memory ring (?limit=N)
 //	GET    /v1/mappings/{fingerprint}  cached mapping by machine fingerprint
 //	GET    /v1/traces/{fingerprint}    recorded timing trace by machine fingerprint
 //	GET    /v1/queue                   queue depth, running campaigns, capacity, drain flag
@@ -75,8 +78,10 @@ import (
 	"syscall"
 	"time"
 
+	"dramdig/internal/buildinfo"
 	"dramdig/internal/logging"
 	"dramdig/internal/metrics"
+	"dramdig/internal/obs"
 	"dramdig/internal/queue"
 	"dramdig/internal/store"
 )
@@ -96,8 +101,15 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty: off)")
 		logFormat  = flag.String("log-format", logging.FormatText, "structured log format: text or json")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		traceSpans = flag.Int("trace-spans", 4096, "finished request spans retained in memory (0 disables tracing)")
+		traceSlow  = flag.Duration("trace-slow-threshold", 0, "promote spans at least this long to WARN log lines (0: off)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("dramdigd")
+		return
+	}
 
 	logf := func(string, ...any) {}
 	if *verbose {
@@ -128,14 +140,25 @@ func main() {
 	if r == 0 {
 		r = -1
 	}
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(obs.Config{
+			Capacity:      *traceSpans,
+			SlowThreshold: *traceSlow,
+			Logger:        logger,
+		})
+	}
+	registry := metrics.NewRegistry()
+	buildinfo.Register(registry)
 	srv := newServer(ctx, st, q, serverConfig{
 		workers:    *workers,
 		retries:    r,
 		tracing:    *traceDir != "",
 		maxRunning: *maxRun,
 		logf:       logf,
-		registry:   metrics.NewRegistry(),
+		registry:   registry,
 		logger:     logger,
+		tracer:     tracer,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,

@@ -16,6 +16,7 @@ import (
 
 	"dramdig/internal/logging"
 	"dramdig/internal/metrics"
+	"dramdig/internal/obs"
 )
 
 // serverMetrics is the daemon's own metric set. The per-route request
@@ -116,9 +117,12 @@ func routeLabel(r *http.Request) string {
 
 // observe wraps the daemon's mux with the request middleware: a request
 // ID (client-supplied X-Request-Id honored, else minted) that travels
-// through the context and echoes back in the response; in-flight, count
-// and duration metrics per route; and one structured log line per
-// request.
+// through the context and echoes back in the response; a server span
+// per request (joining the client's trace when it sent a W3C
+// traceparent, minting a fresh one otherwise) whose traceparent echoes
+// back so callers learn the trace ID; in-flight, count and duration
+// metrics per route; and one structured log line per request, stamped
+// with the span's trace_id/span_id when tracing is on.
 func (s *server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get("X-Request-Id")
@@ -126,7 +130,20 @@ func (s *server) observe(next http.Handler) http.Handler {
 			reqID = s.ids.Next()
 		}
 		w.Header().Set("X-Request-Id", reqID)
-		r = r.WithContext(logging.WithRequestID(r.Context(), reqID))
+		ctx := logging.WithRequestID(r.Context(), reqID)
+
+		var span *obs.Span
+		if s.tracer != nil {
+			ctx = obs.WithTracer(ctx, s.tracer)
+			if remote, ok := obs.Extract(r.Header); ok {
+				ctx = obs.WithSpanContext(ctx, remote)
+			}
+			// Named after the matched route in the deferred block below —
+			// the pattern isn't known until the mux has run.
+			ctx, span = obs.Start(ctx, "http.request", obs.KV("request_id", reqID))
+			w.Header().Set(obs.TraceParentHeader, span.Context().TraceParent())
+		}
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
 		out := http.ResponseWriter(sw)
@@ -149,14 +166,23 @@ func (s *server) observe(next http.Handler) http.Handler {
 			}
 			route := routeLabel(r)
 			s.om.record(route, r.Method, sw.status, dur)
-			s.log.Info("request",
+			attrs := []any{
 				"method", r.Method,
 				"route", route,
 				"path", r.URL.Path,
 				"status", sw.status,
-				"duration_ms", float64(dur.Microseconds())/1000,
+				"duration_ms", float64(dur.Microseconds()) / 1000,
 				"request_id", reqID,
-			)
+			}
+			if span != nil {
+				span.SetName(r.Method + " " + route)
+				span.SetAttr("route", route)
+				span.SetAttrInt("status", int64(sw.status))
+				span.End()
+				sc := span.Context()
+				attrs = append(attrs, "trace_id", sc.TraceID.String(), "span_id", sc.SpanID.String())
+			}
+			s.log.Info("request", attrs...)
 		}()
 		next.ServeHTTP(out, r)
 	})

@@ -111,13 +111,13 @@ func TestRecoveryKillRestart(t *testing.T) {
 		if invocation.Add(1) == 2 {
 			innerWrap := cfg.Wrap
 			var jobs atomic.Int64
-			cfg.Wrap = func(spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
+			cfg.Wrap = func(wctx context.Context, spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
 				if jobs.Add(1) == 2 {
 					close(killed)
 					kill()
 					<-ctx.Done()
 				}
-				return innerWrap(spec, run)
+				return innerWrap(wctx, spec, run)
 			}
 		}
 		return campaign.Run(ctx, specs, cfg)

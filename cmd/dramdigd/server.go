@@ -29,6 +29,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,6 +41,7 @@ import (
 	"dramdig/internal/logging"
 	"dramdig/internal/machine"
 	"dramdig/internal/metrics"
+	"dramdig/internal/obs"
 	"dramdig/internal/queue"
 	"dramdig/internal/specs"
 	"dramdig/internal/store"
@@ -67,6 +69,9 @@ type serverConfig struct {
 	// nil discards them. The printf-style logf above stays the legacy
 	// progress channel.
 	logger *slog.Logger
+	// tracer records request-scoped spans across every layer; nil
+	// disables tracing (every instrumentation site degrades to a no-op).
+	tracer *obs.Tracer
 }
 
 // server is the daemon's handler. Campaigns run asynchronously on the
@@ -85,11 +90,12 @@ type server struct {
 	// reg is the metrics registry every layer registers into; om, inst
 	// and cm are the daemon's own, the engine's and the campaign layer's
 	// metric sets; ids mints request IDs.
-	reg  *metrics.Registry
-	om   *serverMetrics
-	inst *timing.Instrument
-	cm   *campaign.Metrics
-	ids  *logging.IDGen
+	reg    *metrics.Registry
+	om     *serverMetrics
+	inst   *timing.Instrument
+	cm     *campaign.Metrics
+	ids    *logging.IDGen
+	tracer *obs.Tracer
 	// runCampaign is campaign.Run, injectable for handler tests.
 	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
 
@@ -123,6 +129,12 @@ type campaignState struct {
 	// queue's terminal record, when report itself was never built here.
 	reportRaw json.RawMessage
 	errMsg    string
+	// requestID and traceID tie the campaign back to the HTTP request
+	// that submitted it: every transition log line carries both, and the
+	// spans endpoint serves the trace's tree. They ride the queue record
+	// (see queue.Job.TraceParent), so they survive restarts too.
+	requestID string
+	traceID   string
 	// cancel stops the campaign's context; cancelRequested marks a
 	// client cancellation so completion reports "cancelled", not
 	// "failed".
@@ -182,6 +194,7 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 		runCampaign: campaign.Run,
 		campaigns:   make(map[string]*campaignState),
 		slotFree:    make(chan struct{}, 1),
+		tracer:      cfg.tracer,
 	}
 	// Every layer registers into the one registry: daemon middleware,
 	// queue WAL/backlog, store cache tiers, campaign lifecycle and the
@@ -191,6 +204,20 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.st.RegisterMetrics(s.reg)
 	s.cm = campaign.NewMetrics(s.reg)
 	s.inst = engine.NewInstrument(s.reg)
+	if tr := s.tracer; tr != nil {
+		s.reg.CounterFunc("dramdig_trace_spans_started_total",
+			"Spans opened by the tracer.", nil,
+			func() float64 { return float64(tr.Stats().Started) })
+		s.reg.CounterFunc("dramdig_trace_spans_finished_total",
+			"Spans finished and handed to the ring.", nil,
+			func() float64 { return float64(tr.Stats().Finished) })
+		s.reg.CounterFunc("dramdig_trace_spans_dropped_total",
+			"Finished spans evicted from the bounded ring.", nil,
+			func() float64 { return float64(tr.Stats().Dropped) })
+		s.reg.GaugeFunc("dramdig_trace_spans_retained",
+			"Finished spans currently retained in the ring.", nil,
+			func() float64 { return float64(tr.Stats().Retained) })
+	}
 	s.mux = http.NewServeMux()
 	// The canonical, versioned surface.
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
@@ -199,6 +226,8 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleGetCampaignTrace)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/spans", s.handleGetCampaignSpans)
+	s.mux.HandleFunc("GET /v1/debug/spans", s.handleDebugSpans)
 	s.mux.HandleFunc("GET /v1/mappings/{fingerprint}", s.handleGetMapping)
 	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleGetTrace)
 	s.mux.HandleFunc("GET /v1/queue", s.handleGetQueue)
@@ -249,8 +278,26 @@ const (
 
 // logTransition emits the structured log line for a campaign state
 // transition — one line per transition, with the campaign ID on every
-// line so transitions correlate across the daemon's lifetime.
+// line so transitions correlate across the daemon's lifetime. The
+// originating request's ID and trace ID ride along from the campaign
+// state (which carries them across restarts via the queue record), so
+// transition lines correlate with the request log and span tree without
+// the caller threading them through. Callers must not hold s.mu or the
+// campaign's st.mu.
 func (s *server) logTransition(id, from, to string, attrs ...any) {
+	s.mu.Lock()
+	st := s.campaigns[id]
+	s.mu.Unlock()
+	if st != nil {
+		st.mu.Lock()
+		if st.requestID != "" {
+			attrs = append(attrs, "request_id", st.requestID)
+		}
+		if st.traceID != "" {
+			attrs = append(attrs, "trace_id", st.traceID)
+		}
+		st.mu.Unlock()
+	}
 	s.log.Info("campaign transition",
 		append([]any{"campaign", id, "from", from, "to", to}, attrs...)...)
 }
@@ -319,6 +366,8 @@ func (s *server) stateFromJob(job queue.Job) *campaignState {
 	}
 	specList, total := s.specsFromPayload(job.Payload)
 	st := newCampaignState(job.ID, status, specList, total)
+	st.requestID = job.RequestID
+	st.traceID = traceIDOf(job.TraceParent)
 	st.reportRaw = job.Result
 	st.errMsg = job.Error
 	if status == "done" {
@@ -326,6 +375,16 @@ func (s *server) stateFromJob(job queue.Job) *campaignState {
 		st.done = st.total
 	}
 	return st
+}
+
+// traceIDOf extracts the 32-hex trace ID from a persisted traceparent
+// ("" for absent or malformed values).
+func traceIDOf(traceParent string) string {
+	sc, err := obs.ParseTraceParent(traceParent)
+	if err != nil {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 // specsFromPayload rebuilds a queued campaign's specs; on any error it
@@ -370,6 +429,7 @@ func (s *server) launchReady() {
 		s.mu.Unlock()
 
 		job, ok, err := s.q.Dequeue()
+		dequeued := time.Now()
 		if err != nil || !ok {
 			s.mu.Lock()
 			s.running--
@@ -379,7 +439,7 @@ func (s *server) launchReady() {
 			}
 			return
 		}
-		s.launch(job)
+		s.launch(job, dequeued)
 	}
 }
 
@@ -394,8 +454,9 @@ func (s *server) freeSlot() {
 	}
 }
 
-// launch runs one dequeued campaign job asynchronously.
-func (s *server) launch(job queue.Job) {
+// launch runs one dequeued campaign job asynchronously. dequeued is
+// the instant the job left the queue — the end of its queue.wait span.
+func (s *server) launch(job queue.Job, dequeued time.Time) {
 	var p campaignPayload
 	if err := json.Unmarshal(job.Payload, &p); err != nil {
 		s.failJob(job.ID, fmt.Errorf("corrupt queue payload: %w", err))
@@ -411,12 +472,40 @@ func (s *server) launch(job queue.Job) {
 	st := s.campaigns[job.ID]
 	if st == nil {
 		st = newCampaignState(job.ID, "queued", specList, len(specList))
+		st.requestID = job.RequestID
+		st.traceID = traceIDOf(job.TraceParent)
 		s.campaigns[job.ID] = st
 		s.order = append(s.order, job.ID)
 	}
 	s.mu.Unlock()
 
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	// Re-enter the submitting request's trace from the persisted queue
+	// record: everything below — queue.wait, scheduler.dispatch, the
+	// campaign.run goroutine and its per-job/engine/store descendants —
+	// parents under the request's server span, even when the submission
+	// happened before a restart.
+	tctx := s.baseCtx
+	if s.tracer != nil {
+		tctx = obs.WithTracer(tctx, s.tracer)
+		if sc, perr := obs.ParseTraceParent(job.TraceParent); perr == nil {
+			tctx = obs.WithSpanContext(tctx, sc)
+		}
+	}
+	if job.RequestID != "" {
+		tctx = logging.WithRequestID(tctx, job.RequestID)
+	}
+	if job.SubmittedUnixNano > 0 {
+		// queue.wait is reconstructed, not measured live: the interval from
+		// the persisted submission instant to the dequeue.
+		_, wsp := obs.Start(tctx, "queue.wait", obs.KV("campaign", job.ID),
+			obs.Int("attempt", int64(job.Attempts)))
+		wsp.SetStart(time.Unix(0, job.SubmittedUnixNano))
+		wsp.EndAt(dequeued)
+	}
+	tctx, dsp := obs.Start(tctx, "scheduler.dispatch", obs.KV("campaign", job.ID),
+		obs.Int("jobs", int64(len(specList))))
+
+	ctx, cancel := context.WithCancel(tctx)
 	st.mu.Lock()
 	st.status = "running"
 	st.specs = specList
@@ -475,10 +564,22 @@ func (s *server) launch(job queue.Job) {
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		rep, err := s.runCampaign(ctx, specList, cfg)
+		// campaign.run brackets the whole engine execution; the pprof
+		// label segments CPU profiles by campaign (jobs add their own
+		// "job" label inside, see campaign.runJob).
+		runCtx, rsp := obs.Start(ctx, "campaign.run",
+			obs.KV("campaign", job.ID), obs.Int("jobs", int64(len(specList))))
+		var rep *campaign.Report
+		var err error
+		pprof.Do(runCtx, pprof.Labels("campaign", job.ID), func(runCtx context.Context) {
+			rep, err = s.runCampaign(runCtx, specList, cfg)
+		})
+		rsp.SetError(err)
+		rsp.End()
 		s.freeSlot()
 		s.finishJob(job.ID, st, specList, rep, err)
 	}()
+	dsp.End()
 	s.logf("campaign %s: started (%d jobs, attempt %d)", job.ID, len(specList), job.Attempts)
 	s.logTransition(job.ID, "queued", "running", "jobs", len(specList), "attempt", job.Attempts)
 }
@@ -569,12 +670,12 @@ func (s *server) encodeReport(rep *campaign.Report) json.RawMessage {
 // content-addressed result store — the same records storeWrap caches.
 // A miss (memory-only store restarted, record evicted) re-runs the job,
 // which the deterministic seeds make equivalent.
-func (s *server) restoreFromStore(spec campaign.Spec, jc campaign.JobCheckpoint) (campaign.Outcome, bool) {
+func (s *server) restoreFromStore(ctx context.Context, spec campaign.Spec, jc campaign.JobCheckpoint) (campaign.Outcome, bool) {
 	fp := jc.MachineFingerprint
 	if fp == "" {
 		fp = spec.MachineFingerprint()
 	}
-	rec, ok, err := s.st.Get(fp)
+	rec, ok, err := s.st.GetCtx(ctx, fp)
 	if err != nil || !ok {
 		return campaign.Outcome{}, false
 	}
@@ -751,13 +852,26 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.URL.Path, "/v1/") {
 		opts.IdempotencyKey = r.Header.Get("Idempotency-Key")
 	}
+	// The queue record carries the request's trace context and ID so
+	// queue/scheduler/campaign spans and transition logs stay parented to
+	// this request — across the async handoff and across restarts. The
+	// persisted parent is the *server span*, so the whole downstream tree
+	// roots at the inbound trace.
+	opts.TraceParent = obs.TraceParentFrom(r.Context())
+	opts.RequestID = logging.RequestID(r.Context())
 
 	payload, err := json.Marshal(campaignPayload{Request: req, Seed: seed})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
 	}
+	_, ssp := obs.Start(r.Context(), "queue.submit", obs.Int("priority", int64(opts.Priority)))
 	job, dup, err := s.q.Submit(payload, opts)
+	ssp.SetError(err)
+	if err == nil {
+		ssp.SetAttr("campaign", job.ID)
+	}
+	ssp.End()
 	if errors.Is(err, queue.ErrFull) {
 		w.Header().Set("Retry-After", s.retryAfter())
 		httpError(w, http.StatusTooManyRequests, codeOverloaded,
@@ -797,14 +911,16 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		// running campaign updates.
 		s.mu.Lock()
 		if s.campaigns[job.ID] == nil {
-			s.campaigns[job.ID] = newCampaignState(job.ID, "queued", specList, len(specList))
+			ns := newCampaignState(job.ID, "queued", specList, len(specList))
+			ns.requestID = opts.RequestID
+			ns.traceID = traceIDOf(opts.TraceParent)
+			s.campaigns[job.ID] = ns
 			s.order = append(s.order, job.ID)
 			s.evictLocked()
 		}
 		s.mu.Unlock()
 		s.logf("campaign %s: queued %d jobs (priority %d)", job.ID, len(specList), job.Priority)
-		s.logTransition(job.ID, "", "queued", "jobs", len(specList), "priority", job.Priority,
-			"request_id", logging.RequestID(r.Context()))
+		s.logTransition(job.ID, "", "queued", "jobs", len(specList), "priority", job.Priority)
 	}
 
 	w.Header().Set("Location", "/v1/campaigns/"+job.ID)
@@ -864,8 +980,7 @@ func (s *server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
 		st.bumpLocked()
 		st.mu.Unlock()
 		s.logf("campaign %s: cancelled while queued", id)
-		s.logTransition(id, "queued", "cancelled",
-			"request_id", logging.RequestID(r.Context()))
+		s.logTransition(id, "queued", "cancelled")
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "cancelled"})
 	case "running":
 		if cancel != nil {
@@ -1114,10 +1229,10 @@ func (st *campaignState) onEvent(ev campaign.Event) {
 // storeWrap backs each campaign job with the content-addressed store:
 // concurrent jobs for one machine configuration run the pipeline once
 // (single-flight), and repeated campaigns hit the cache.
-func (s *server) storeWrap(spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
+func (s *server) storeWrap(ctx context.Context, spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
 	fp := spec.MachineFingerprint()
 	var direct *campaign.Outcome
-	rec, err := s.st.GetOrCompute(fp, func() (*store.Record, error) {
+	rec, err := s.st.GetOrComputeCtx(ctx, fp, func() (*store.Record, error) {
 		out := run()
 		direct = &out
 		if out.Err != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dramdig"
+	"dramdig/internal/buildinfo"
 	"dramdig/internal/trace"
 )
 
@@ -43,6 +44,9 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
+	case "version", "-version", "--version":
+		buildinfo.Print("tracectl")
+		return
 	case "record":
 		err = cmdRecord(args)
 	case "info":

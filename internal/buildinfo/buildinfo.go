@@ -1,0 +1,89 @@
+// Package buildinfo is the one place the repository's binaries read
+// their own identity: version, Go toolchain and VCS revision, all from
+// the build metadata the Go linker already embeds (debug.ReadBuildInfo)
+// — no ldflags stamping, no generated version file. dramdigd, dramdig
+// and tracectl share it for their -version flags, and the daemon
+// exports the same identity as a dramdig_build_info metric so a scrape
+// can tell which build is running without shell access.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"dramdig/internal/metrics"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module version: a tag for released builds,
+	// "(devel)" for tree builds.
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision and Modified come from the VCS stamp when the build had
+	// one (go build inside a clean checkout); empty otherwise.
+	Revision string
+	Modified bool
+}
+
+// Read collects the binary's build identity. It never fails — binaries
+// built without module metadata (go run on a loose file) report
+// "unknown".
+func Read() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as the one-line -version output:
+//
+//	dramdigd (devel) go1.24.1 rev 0b1f3c9a (modified)
+func (i Info) String() string {
+	s := i.Version + " " + i.GoVersion
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+	}
+	return s
+}
+
+// Print writes "<binary> <identity>" the way the -version flags do.
+func Print(binary string) {
+	fmt.Printf("%s %s\n", binary, Read().String())
+}
+
+// Register exports the identity as the conventional build-info gauge:
+// a constant 1 whose labels carry the interesting values, so PromQL
+// joins can annotate any series with the running build.
+func Register(r *metrics.Registry) {
+	info := Read()
+	r.Gauge("dramdig_build_info",
+		"Build identity of the running binary (constant 1; the labels carry the values).",
+		metrics.Labels{
+			"version":    info.Version,
+			"go_version": info.GoVersion,
+			"revision":   info.Revision,
+		}).Set(1)
+}

@@ -27,11 +27,13 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"dramdig/internal/core"
 	"dramdig/internal/machine"
+	"dramdig/internal/obs"
 	"dramdig/internal/source"
 	"dramdig/internal/timing"
 	"dramdig/internal/trace"
@@ -229,10 +231,11 @@ type Config struct {
 	// dispatcher goroutine (no locking needed in the callback).
 	OnEvent func(Event)
 	// Wrap, when non-nil, intercepts each job's execution: it receives
-	// the spec and a run function executing the full attempt loop, and
-	// may return a cached Outcome instead of calling run. See
-	// cmd/dramdigd for the store-backed interceptor.
-	Wrap func(spec Spec, run func() Outcome) Outcome
+	// the job's context (carrying tracing/pprof state), the spec and a
+	// run function executing the full attempt loop, and may return a
+	// cached Outcome instead of calling run. See cmd/dramdigd for the
+	// store-backed interceptor.
+	Wrap func(ctx context.Context, spec Spec, run func() Outcome) Outcome
 	// TraceSink, when non-nil, supplies a sink per pipeline attempt for
 	// recording the job's timing channel as an internal/trace stream
 	// (header + every MeasurePair sample). Returning (nil, nil) skips
@@ -252,7 +255,7 @@ type Config struct {
 	// the content-addressed result store. Returning false re-runs the
 	// job instead; the deterministic per-(job, attempt) seeds make the
 	// re-run produce the result the checkpoint recorded.
-	Restore func(spec Spec, jc JobCheckpoint) (Outcome, bool)
+	Restore func(ctx context.Context, spec Spec, jc JobCheckpoint) (Outcome, bool)
 	// Metrics, when non-nil, receives job-lifecycle counts and
 	// checkpoint latency (see NewMetrics).
 	Metrics *Metrics
@@ -361,22 +364,30 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 	cfg.Metrics.jobStarted()
 	emit(Event{Kind: EventJobStarted, Job: name, Index: idx})
 
+	// The job span parents every engine-phase and store span below, and
+	// the pprof label segments CPU profiles per job. Both ride the
+	// context and are no-ops when the daemon didn't configure them.
+	ctx, span := obs.Start(ctx, "campaign.job",
+		obs.KV("job", name), obs.Int("index", int64(idx)))
+
 	var out Outcome
 	resumed, restoredJC := false, JobCheckpoint{}
-	if jc, ok := cfg.Resume.Lookup(idx); ok && cfg.Restore != nil {
-		if restored, ok := cfg.Restore(spec, jc); ok && restored.Err == nil && restored.Result != nil {
-			restored.Resumed = true
-			out, resumed, restoredJC = restored, true, jc
+	pprof.Do(ctx, pprof.Labels("job", name), func(ctx context.Context) {
+		if jc, ok := cfg.Resume.Lookup(idx); ok && cfg.Restore != nil {
+			if restored, ok := cfg.Restore(ctx, spec, jc); ok && restored.Err == nil && restored.Result != nil {
+				restored.Resumed = true
+				out, resumed, restoredJC = restored, true, jc
+			}
 		}
-	}
-	if !resumed {
-		run := func() Outcome { return attemptLoop(ctx, spec, cfg, idx, name, emit) }
-		if cfg.Wrap != nil {
-			out = cfg.Wrap(spec, run)
-		} else {
-			out = run()
+		if !resumed {
+			run := func() Outcome { return attemptLoop(ctx, spec, cfg, idx, name, emit) }
+			if cfg.Wrap != nil {
+				out = cfg.Wrap(ctx, spec, run)
+			} else {
+				out = run()
+			}
 		}
-	}
+	})
 
 	jr := JobResult{
 		Spec:               spec,
@@ -412,6 +423,15 @@ func runJob(ctx context.Context, spec Spec, cfg Config, idx int, emit func(Event
 		cfg.Metrics.jobFailed()
 		emit(Event{Kind: EventJobFailed, Job: name, Index: idx, Err: jr.Err.Error()})
 	}
+	span.SetAttrInt("attempts", int64(jr.Attempts))
+	if jr.Cached {
+		span.SetAttr("cached", "true")
+	}
+	if jr.Resumed {
+		span.SetAttr("resumed", "true")
+	}
+	span.SetError(jr.Err)
+	span.End()
 	return jr
 }
 

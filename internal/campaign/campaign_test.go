@@ -180,7 +180,7 @@ func TestCampaignWrap(t *testing.T) {
 	ran := 0
 	rep, err := Run(context.Background(), []Spec{mustSpec(t, 4), mustSpec(t, 1)}, Config{
 		Seed: 5,
-		Wrap: func(spec Spec, run func() Outcome) Outcome {
+		Wrap: func(_ context.Context, spec Spec, run func() Outcome) Outcome {
 			if spec.Def.No == 4 {
 				return Outcome{Result: cached, Match: true, Cached: true}
 			}

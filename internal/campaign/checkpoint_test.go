@@ -89,7 +89,7 @@ func TestCheckpointResume(t *testing.T) {
 		Workers: 2,
 		Seed:    11,
 		Resume:  cp,
-		Restore: func(spec Spec, jc JobCheckpoint) (Outcome, bool) {
+		Restore: func(_ context.Context, spec Spec, jc JobCheckpoint) (Outcome, bool) {
 			mu.Lock()
 			restored = append(restored, jc.Index)
 			mu.Unlock()
@@ -131,7 +131,7 @@ func TestCheckpointResumeSeedMismatch(t *testing.T) {
 	_, err := Run(context.Background(), specs, Config{
 		Seed:    2,
 		Resume:  &Checkpoint{Seed: 1},
-		Restore: func(Spec, JobCheckpoint) (Outcome, bool) { return Outcome{}, false },
+		Restore: func(context.Context, Spec, JobCheckpoint) (Outcome, bool) { return Outcome{}, false },
 	})
 	if err == nil {
 		t.Fatal("seed-mismatched resume accepted")
@@ -153,7 +153,7 @@ func TestCheckpointRestoreMiss(t *testing.T) {
 		Workers: 1,
 		Seed:    13,
 		Resume:  cp,
-		Restore: func(Spec, JobCheckpoint) (Outcome, bool) { return Outcome{}, false },
+		Restore: func(context.Context, Spec, JobCheckpoint) (Outcome, bool) { return Outcome{}, false },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,7 @@ import (
 
 	"dramdig/internal/addr"
 	"dramdig/internal/mapping"
+	"dramdig/internal/obs"
 	"dramdig/internal/timing"
 )
 
@@ -313,6 +314,7 @@ func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
 	pmeter.SetInstrument(t.cfg.Instrument)
 	t.pmeter = pmeter
 	stepClock, stepMeas := t.target.ClockNs(), t.measurements()
+	sp := t.startPhase("calibrate")
 	calSamples := t.cfg.CalibSamples
 	if calSamples == 0 {
 		calSamples = 24 * banks
@@ -323,32 +325,37 @@ func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
 	t.calSamples = calSamples
 	cal, err := meter.CalibrateContext(ctx, t.rng, calSamples)
 	if err != nil {
+		failPhase(sp, err)
 		return nil, fmt.Errorf("dramdig: %w", err)
 	}
 	res.Calibration = cal
 	pmeter.SetThreshold(cal.Threshold)
 	t.logf("calibrated: %s", cal)
-	t.recordStep(res, "calibrate", stepClock, stepMeas)
+	t.recordStep(res, sp, "calibrate", stepClock, stepMeas)
 
 	// Step 1: coarse row & column detection.
 	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	sp = t.startPhase("coarse")
 	coarse, err := t.coarseDetect(info)
 	if err != nil {
+		failPhase(sp, err)
 		return nil, fmt.Errorf("dramdig step 1: %w", err)
 	}
 	res.CoarseRowBits = coarse.rowBits
 	res.CoarseColBits = coarse.colBits
 	res.AssumedRowBits = coarse.assumedRow
 	res.BankCandidateBits = coarse.bankBits
-	t.recordStep(res, "coarse", stepClock, stepMeas)
+	t.recordStep(res, sp, "coarse", stepClock, stepMeas)
 	t.logf("coarse: rows %s (assumed high: %s), cols %s, bank candidates %s",
 		addr.FormatBitRanges(coarse.rowBits), addr.FormatBitRanges(coarse.assumedRow),
 		addr.FormatBitRanges(coarse.colBits), addr.FormatBitRanges(coarse.bankBits))
 
 	// Step 2a: Algorithm 1 — physical address selection.
 	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	sp = t.startPhase("partition")
 	sel, err := t.selectAddresses(coarse)
 	if err != nil {
+		failPhase(sp, err)
 		return nil, fmt.Errorf("dramdig step 2 (selection): %w", err)
 	}
 	res.SelectedAddrs = len(sel.pool)
@@ -358,30 +365,35 @@ func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
 	// Step 2b: Algorithm 2 — partition into piles.
 	piles, err := t.partition(sel.pool, banks)
 	if err != nil {
+		failPhase(sp, err)
 		return nil, fmt.Errorf("dramdig step 2 (partition): %w", err)
 	}
 	res.Piles = len(piles)
-	t.recordStep(res, "partition", stepClock, stepMeas)
+	t.recordStep(res, sp, "partition", stepClock, stepMeas)
 	t.logf("partitioned into %d piles (want %d banks)", len(piles), banks)
 
 	// Step 2c: Algorithm 3 — bank address function detection.
 	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	sp = t.startPhase("resolve")
 	funcs, err := t.resolveFuncs(piles, coarse.bankBits, banks)
 	if err != nil {
+		failPhase(sp, err)
 		return nil, fmt.Errorf("dramdig step 2 (resolve): %w", err)
 	}
-	t.recordStep(res, "resolve", stepClock, stepMeas)
+	t.recordStep(res, sp, "resolve", stepClock, stepMeas)
 	t.logf("bank functions: %s", formatFuncs(funcs))
 
 	// Step 3: fine-grained shared-bit classification.
 	stepClock, stepMeas = t.target.ClockNs(), t.measurements()
+	sp = t.startPhase("fine")
 	fine, err := t.fineDetect(info, coarse, funcs)
 	if err != nil {
+		failPhase(sp, err)
 		return nil, fmt.Errorf("dramdig step 3: %w", err)
 	}
 	res.SharedRowBits = fine.sharedRow
 	res.SharedColBits = fine.sharedCol
-	t.recordStep(res, "fine", stepClock, stepMeas)
+	t.recordStep(res, sp, "fine", stepClock, stepMeas)
 	t.logf("shared row bits %s, shared col bits %s",
 		addr.FormatBitRanges(fine.sharedRow), addr.FormatBitRanges(fine.sharedCol))
 
@@ -403,15 +415,33 @@ func (t *Tool) RunContext(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-func (t *Tool) recordStep(res *Result, name string, clock0 float64, meas0 uint64) {
+func (t *Tool) recordStep(res *Result, sp *obs.Span, name string, clock0 float64, meas0 uint64) {
 	stats := StepStats{
 		SimSeconds:   (t.target.ClockNs() - clock0) / 1e9,
 		Measurements: t.measurements() - meas0,
 	}
 	res.Steps[name] = stats
+	sp.SetAttrInt("measurements", int64(stats.Measurements))
+	sp.SetAttr("sim_s", fmt.Sprintf("%.3f", stats.SimSeconds))
+	sp.End()
 	if t.cfg.OnStep != nil {
 		t.cfg.OnStep(name, stats)
 	}
+}
+
+// startPhase opens the tracing span for one pipeline step. Spans are
+// minted at phase granularity — five per run, never per measurement —
+// so the hot path stays untouched; without a tracer in the run context
+// the span is nil and every call on it is a no-op.
+func (t *Tool) startPhase(name string) *obs.Span {
+	_, sp := obs.Start(t.ctx, "engine."+name)
+	return sp
+}
+
+// failPhase closes a step's span on an error return.
+func failPhase(sp *obs.Span, err error) {
+	sp.SetError(err)
+	sp.End()
 }
 
 func formatFuncs(funcs []uint64) string {

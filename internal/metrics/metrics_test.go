@@ -287,3 +287,46 @@ func TestConcurrentRegistration(t *testing.T) {
 		t.Errorf("gauge = %v, want %d", got, want)
 	}
 }
+
+// TestGoldenScrape pins the full exposition output byte for byte for a
+// registry exercising the format's edge cases at once: label values
+// needing every escape the format defines (backslash, quote, newline),
+// a Declare'd family with no children (header only), func-backed gauge
+// and counter children, a labeled histogram, and family name ordering.
+// Contains-style checks (the other render tests) can miss accidental
+// extra lines or reordering; this one cannot.
+func TestGoldenScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Declare("app_empty_total", "Declared, never incremented.", "counter")
+	r.Counter("app_esc_total", "Escaping.", Labels{"path": `C:\tmp`, "q": `say "hi"`, "nl": "a\nb"}).Add(2)
+	r.GaugeFunc("app_fn_gauge", "Func gauge.", Labels{"kind": "fn"}, func() float64 { return 2.5 })
+	r.CounterFunc("app_fn_total", "Func counter.", nil, func() float64 { return 7 })
+	r.Histogram("app_lat_seconds", "Latency.", []float64{0.5, 1}, Labels{"op": "read"}).Observe(0.75)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_empty_total Declared, never incremented.
+# TYPE app_empty_total counter
+# HELP app_esc_total Escaping.
+# TYPE app_esc_total counter
+app_esc_total{nl="a\nb",path="C:\\tmp",q="say \"hi\""} 2
+# HELP app_fn_gauge Func gauge.
+# TYPE app_fn_gauge gauge
+app_fn_gauge{kind="fn"} 2.5
+# HELP app_fn_total Func counter.
+# TYPE app_fn_total counter
+app_fn_total 7
+# HELP app_lat_seconds Latency.
+# TYPE app_lat_seconds histogram
+app_lat_seconds_bucket{op="read",le="0.5"} 0
+app_lat_seconds_bucket{op="read",le="1"} 1
+app_lat_seconds_bucket{op="read",le="+Inf"} 1
+app_lat_seconds_sum{op="read"} 0.75
+app_lat_seconds_count{op="read"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("golden scrape mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -96,6 +96,16 @@ type Job struct {
 	// Seq is the submission order, the FIFO key within a priority.
 	Seq           uint64 `json:"seq"`
 	SubmittedUnix int64  `json:"submitted_unix,omitempty"`
+	// SubmittedUnixNano is the precise submission instant — the start of
+	// the queue-wait tracing span reconstructed at dequeue.
+	SubmittedUnixNano int64 `json:"submitted_unix_nano,omitempty"`
+	// TraceParent and RequestID carry the submitting request's trace
+	// context (W3C traceparent) and request ID across the enqueue →
+	// scheduler handoff — and, being persisted, across a process death —
+	// so campaign spans and transition logs stay correlated with the
+	// originating HTTP request. The queue never interprets them.
+	TraceParent string `json:"trace_parent,omitempty"`
+	RequestID   string `json:"request_id,omitempty"`
 }
 
 func (j *Job) clone() Job {
@@ -153,6 +163,10 @@ type SubmitOptions struct {
 	// IdempotencyKey deduplicates: while a job with this key is
 	// retained, resubmission returns it instead of enqueueing again.
 	IdempotencyKey string
+	// TraceParent and RequestID are stored verbatim on the job (see
+	// Job.TraceParent) for cross-layer correlation; both optional.
+	TraceParent string
+	RequestID   string
 }
 
 // Stats is a point-in-time census of the queue, plus cumulative
@@ -579,14 +593,18 @@ func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, 
 	}
 	q.nextID++
 	q.seq++
+	now := time.Now()
 	j := Job{
-		ID:             fmt.Sprintf("%s%d", q.cfg.IDPrefix, q.nextID),
-		Priority:       opts.Priority,
-		IdempotencyKey: opts.IdempotencyKey,
-		Payload:        append(json.RawMessage(nil), payload...),
-		State:          StateSubmitted,
-		Seq:            q.seq,
-		SubmittedUnix:  time.Now().Unix(),
+		ID:                fmt.Sprintf("%s%d", q.cfg.IDPrefix, q.nextID),
+		Priority:          opts.Priority,
+		IdempotencyKey:    opts.IdempotencyKey,
+		Payload:           append(json.RawMessage(nil), payload...),
+		State:             StateSubmitted,
+		Seq:               q.seq,
+		SubmittedUnix:     now.Unix(),
+		SubmittedUnixNano: now.UnixNano(),
+		TraceParent:       opts.TraceParent,
+		RequestID:         opts.RequestID,
 	}
 	rec := walRecord{Seq: q.seq, Op: "submit", Job: &j}
 	if err := q.applyLocked(rec); err != nil {

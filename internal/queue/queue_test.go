@@ -422,3 +422,48 @@ func TestQueueMetrics(t *testing.T) {
 		t.Fatalf("stats counters: %+v", st)
 	}
 }
+
+// TestQueueTraceContextPersists: the trace context set at Submit rides
+// the job through dequeue and — because it lands in the WAL — through a
+// process death, so campaign spans stay parented to the originating
+// request even across recovery.
+func TestQueueTraceContextPersists(t *testing.T) {
+	dir := t.TempDir()
+	const tp = "00-0102030405060708090a0b0c0d0e0f10-0102030405060708-01"
+	q1 := openTest(t, Config{Dir: dir})
+	j := mustSubmit(t, q1, `{"n":1}`, SubmitOptions{TraceParent: tp, RequestID: "req-9"})
+	if j.TraceParent != tp || j.RequestID != "req-9" {
+		t.Fatalf("submit dropped trace context: %+v", j)
+	}
+	if j.SubmittedUnixNano == 0 {
+		t.Fatal("submit did not stamp SubmittedUnixNano")
+	}
+	got, ok, err := q1.Dequeue()
+	if err != nil || !ok {
+		t.Fatalf("dequeue: ok=%v err=%v", ok, err)
+	}
+	if got.TraceParent != tp || got.RequestID != "req-9" {
+		t.Fatalf("dequeue dropped trace context: %+v", got)
+	}
+	if err := q1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The job was in flight at "death"; recovery re-queues it with the
+	// trace context intact.
+	q2 := openTest(t, Config{Dir: dir})
+	rec, ok, err := q2.Dequeue()
+	if err != nil || !ok {
+		t.Fatalf("recovered dequeue: ok=%v err=%v", ok, err)
+	}
+	if !rec.Recovered {
+		t.Fatalf("job not marked recovered: %+v", rec)
+	}
+	if rec.TraceParent != tp || rec.RequestID != "req-9" {
+		t.Fatalf("recovery dropped trace context: %+v", rec)
+	}
+	if rec.SubmittedUnixNano != j.SubmittedUnixNano {
+		t.Fatalf("recovery changed SubmittedUnixNano: %d != %d",
+			rec.SubmittedUnixNano, j.SubmittedUnixNano)
+	}
+}

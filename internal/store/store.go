@@ -16,16 +16,19 @@ package store
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"dramdig/internal/mapping"
 	"dramdig/internal/metrics"
+	"dramdig/internal/obs"
 )
 
 // Record is one cached result: the recovered mapping plus the run
@@ -168,18 +171,41 @@ func Open(cfg Config) (*Store, error) {
 }
 
 // Get returns the record for the fingerprint, consulting memory then
-// disk. Returned records are shared — treat them as read-only.
+// disk. Returned records are shared — treat them as read-only. It is
+// GetCtx with a background context (no tracing).
 func (s *Store) Get(fp string) (*Record, bool, error) {
+	return s.GetCtx(context.Background(), fp)
+}
+
+// GetCtx is Get under a context: when the context carries a tracer the
+// lookup records a store.read span (child of the caller's span) with
+// the fingerprint and hit/miss outcome.
+func (s *Store) GetCtx(ctx context.Context, fp string) (*Record, bool, error) {
+	_, sp := obs.Start(ctx, "store.read", obs.KV("fp", shortFP(fp)))
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rec, err := s.getLocked(fp)
 	if err != nil {
+		s.mu.Unlock()
+		sp.SetError(err)
+		sp.End()
 		return nil, false, err
 	}
 	if rec == nil {
 		s.stats.NegativeLookups++
 	}
+	s.mu.Unlock()
+	sp.SetAttr("hit", strconv.FormatBool(rec != nil))
+	sp.End()
 	return rec, rec != nil, nil
+}
+
+// shortFP truncates a fingerprint for span attributes — enough hex to
+// grep the cache directory, without 64-char attribute values.
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
 }
 
 // Put inserts (or replaces) a record and persists it when the store has a
@@ -204,18 +230,36 @@ func (s *Store) Put(rec *Record) error {
 // cached in memory and shared with every waiter, and the failure shows up
 // in Stats.PersistErrors (use Put for write-or-error semantics).
 func (s *Store) GetOrCompute(fp string, compute func() (*Record, error)) (*Record, error) {
+	return s.GetOrComputeCtx(context.Background(), fp, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute under a context: with a tracer in ctx
+// the lookup records a store.read span (hit "true", "false", or
+// "flight" when another caller's compute was joined) and a successful
+// compute records a store.persist span around the cache write. The
+// compute callback receives no context by design — callers close over
+// theirs, and the pipeline's own phase spans parent correctly because
+// compute runs on the calling goroutine.
+func (s *Store) GetOrComputeCtx(ctx context.Context, fp string, compute func() (*Record, error)) (*Record, error) {
+	_, rsp := obs.Start(ctx, "store.read", obs.KV("fp", shortFP(fp)))
 	s.mu.Lock()
 	rec, err := s.getLocked(fp)
 	if err != nil {
 		s.mu.Unlock()
+		rsp.SetError(err)
+		rsp.End()
 		return nil, err
 	}
 	if rec != nil {
 		s.mu.Unlock()
+		rsp.SetAttr("hit", "true")
+		rsp.End()
 		return rec, nil
 	}
 	if c, ok := s.flight[fp]; ok {
 		s.mu.Unlock()
+		rsp.SetAttr("hit", "flight")
+		rsp.End()
 		<-c.done
 		return c.rec, c.err
 	}
@@ -223,6 +267,8 @@ func (s *Store) GetOrCompute(fp string, compute func() (*Record, error)) (*Recor
 	s.flight[fp] = c
 	s.stats.Computes++
 	s.mu.Unlock()
+	rsp.SetAttr("hit", "false")
+	rsp.End()
 
 	rec, err = compute()
 	if err == nil && rec != nil {
@@ -244,9 +290,15 @@ func (s *Store) GetOrCompute(fp string, compute func() (*Record, error)) (*Recor
 	s.mu.Lock()
 	delete(s.flight, fp)
 	if err == nil {
-		if perr := s.putLocked(rec, true); perr != nil {
+		_, psp := obs.Start(ctx, "store.persist", obs.KV("fp", shortFP(fp)))
+		perr := s.putLocked(rec, true)
+		if perr != nil {
 			s.stats.PersistErrors++
+			// Persistence is best-effort here: the span carries the error,
+			// the call does not.
+			psp.SetError(perr)
 		}
+		psp.End()
 	}
 	s.mu.Unlock()
 

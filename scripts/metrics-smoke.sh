@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for dramdigd's observability surface: boot the
-# daemon, run one real campaign through it, scrape /v1/metrics and check
-# that every layer's metric families are present and that the hot-path
-# counters actually moved. CI runs this after the unit suites; run it
-# locally with `./scripts/metrics-smoke.sh`.
+# daemon, run one real campaign through it with a W3C traceparent,
+# scrape /v1/metrics and check that every layer's metric families are
+# present and that the hot-path counters actually moved, then fetch the
+# campaign's span tree and check it is rooted at the inbound trace ID
+# with spans from every layer. CI runs this after the unit suites; run
+# it locally with `./scripts/metrics-smoke.sh`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,7 +42,16 @@ echo "$health" | jq -e '.status == "ok" and (.queue_depth | type == "number") an
   || { echo "metrics-smoke: bad healthz body: $health" >&2; exit 1; }
 
 # One real campaign over the cheapest paper setting, driven to "done".
-id=$(curl -fsS "http://$ADDR/v1/campaigns" -d '{"machines":[1],"seed":42}' | jq -r .id)
+# The submission carries a W3C traceparent so the whole pipeline joins
+# our trace; the response must echo a traceparent on the same trace.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+TRACEPARENT="00-$TRACE_ID-00f067aa0ba902b7-01"
+post=$(curl -fsS -D "$WORKDIR/post.headers" "http://$ADDR/v1/campaigns" \
+  -H "traceparent: $TRACEPARENT" -d '{"machines":[1],"seed":42}')
+id=$(echo "$post" | jq -r .id)
+grep -qi "^traceparent: 00-$TRACE_ID-" "$WORKDIR/post.headers" \
+  || { echo "metrics-smoke: response did not echo a traceparent on trace $TRACE_ID" >&2; \
+       cat "$WORKDIR/post.headers" >&2; exit 1; }
 for i in $(seq 1 150); do
   status=$(curl -fsS "http://$ADDR/v1/campaigns/$id" | jq -r .status)
   [ "$status" = done ] && break
@@ -68,7 +79,9 @@ for family in \
   dramdig_campaign_jobs_started_total \
   dramdig_http_requests_total \
   dramdig_http_request_seconds \
-  dramdig_sse_subscribers; do
+  dramdig_sse_subscribers \
+  dramdig_build_info \
+  dramdig_trace_spans_finished_total; do
   echo "$scrape" | grep -q "^# TYPE $family " \
     || { echo "metrics-smoke: family $family missing from scrape" >&2; exit 1; }
 done
@@ -84,10 +97,33 @@ done
 echo "$scrape" | grep -q '^dramdig_engine_samples_total [1-9]' \
   || { echo "metrics-smoke: engine recorded no samples" >&2; exit 1; }
 
+# The campaign's span tree must be rooted at the inbound trace ID and
+# contain spans from every layer the request crossed.
+spans=$(curl -fsS "http://$ADDR/v1/campaigns/$id/spans")
+echo "$spans" | jq -e --arg tid "$TRACE_ID" '.trace_id == $tid' >/dev/null \
+  || { echo "metrics-smoke: span tree not on inbound trace (got $(echo "$spans" | jq -r .trace_id))" >&2; exit 1; }
+echo "$spans" | jq -e '.spans | length > 0' >/dev/null \
+  || { echo "metrics-smoke: span tree is empty" >&2; exit 1; }
+names=$(echo "$spans" | jq -r '[.. | objects | .name? // empty] | join(" ")')
+for want in queue.submit queue.wait scheduler.dispatch campaign.run campaign.job \
+  engine.calibrate engine.coarse engine.partition engine.resolve engine.fine store.read; do
+  case " $names " in
+    *" $want "*) ;;
+    *) echo "metrics-smoke: span tree missing $want (have: $names)" >&2; exit 1 ;;
+  esac
+done
+# Every span in the tree carries the inbound trace ID.
+echo "$spans" | jq -e --arg tid "$TRACE_ID" '[.. | objects | .trace_id? // empty] | all(. == $tid)' >/dev/null \
+  || { echo "metrics-smoke: span tree mixes trace IDs" >&2; exit 1; }
+
 # Every request logged one structured line with a request ID.
 grep -q '"msg":"request"' "$WORKDIR/daemon.log" \
   || { echo "metrics-smoke: no structured request log lines" >&2; exit 1; }
 grep -q '"request_id"' "$WORKDIR/daemon.log" \
   || { echo "metrics-smoke: request log lines carry no request_id" >&2; exit 1; }
+# The campaign's transition log lines carry the inbound trace ID.
+grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORKDIR/daemon.log" \
+  || { echo "metrics-smoke: no log line carries the inbound trace_id" >&2; exit 1; }
 
-echo "metrics-smoke: ok (campaign $id, $(echo "$scrape" | grep -c '^dramdig_') dramdig series)"
+nspans=$(echo "$spans" | jq '[.. | objects | .name? // empty] | length')
+echo "metrics-smoke: ok (campaign $id, $(echo "$scrape" | grep -c '^dramdig_') dramdig series, $nspans spans on trace $TRACE_ID)"
