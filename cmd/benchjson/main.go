@@ -9,8 +9,10 @@
 // metrics (machines/s, samples/s, jobs/s, ...), including the
 // engine_live_vs_replay row tracking how much faster a trace replay is
 // than the live simulation it recorded, the durable-queue rows
-// (queue_submit, queue_recover) tracking the WAL's fsync-bound submit
-// path and crash-recovery replay throughput, and the metrics_overhead
+// (queue_submit, queue_submit_batched, queue_recover) tracking the
+// WAL's fsync-bound submit path, the group-commit batching of
+// concurrent submissions, and crash-recovery replay throughput, and
+// the metrics_overhead
 // and tracing_overhead rows tracking what the hot-path sample
 // instrumentation and the per-phase span tracer cost relative to an
 // uninstrumented run.
@@ -91,6 +93,7 @@ func main() {
 	run("engine_live_traced", benchEngineLiveTraced)
 	run("engine_replay_strict", benchEngineReplay)
 	run("queue_submit", benchQueueSubmit)
+	run("queue_submit_batched", benchQueueSubmitBatched)
 	run("queue_submit_memory", benchQueueSubmitMemory)
 	run("queue_recover", benchQueueRecover)
 
@@ -369,6 +372,32 @@ func benchQueueSubmit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// benchQueueSubmitBatched measures the durable submit path under
+// concurrent submitters: the WAL's group commit folds parallel
+// submissions into shared fsyncs, so jobs/s should clear the
+// one-fsync-per-job floor queue_submit pays sequentially.
+func benchQueueSubmitBatched(b *testing.B) {
+	dir, err := os.MkdirTemp("", "benchq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	q, err := queue.Open(queue.Config{Dir: dir, Capacity: 1 << 30, CompactEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := q.Submit(benchPayload, queue.SubmitOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 

@@ -1,0 +1,113 @@
+// Command dramdig-worker is a cluster worker for dramdigd: it leases
+// queued campaign jobs from a coordinator over HTTP (/v1/cluster),
+// runs them through the same campaign engine, streams checkpoints back
+// on heartbeats, and uploads results and timing traces into the
+// coordinator's content-addressed store.
+//
+// Usage:
+//
+//	dramdig-worker [-coordinator http://localhost:8080] [-name NAME]
+//	               [-workers N] [-retries N] [-poll 500ms] [-trace] [-v]
+//	               [-log-format text|json] [-log-level info]
+//	               [-trace-spans N] [-version]
+//
+// The worker is stateless: everything durable — queue entries,
+// checkpoints, results, traces — lives on the coordinator. Killing a
+// worker mid-campaign costs at most one lease TTL; the coordinator
+// requeues the job with its last checkpoint and another worker resumes
+// it. Start any number of workers against one coordinator; the
+// coordinator shards jobs across them by machine fingerprint.
+//
+// SIGINT/SIGTERM stop the worker after abandoning its current lease
+// (the coordinator requeues it at the next sweep).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dramdig/internal/buildinfo"
+	"dramdig/internal/cluster"
+	"dramdig/internal/logging"
+	"dramdig/internal/obs"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://localhost:8080", "coordinator base URL")
+		name        = flag.String("name", "", "stable worker name (default hostname-pid)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs per leased campaign")
+		retries     = flag.Int("retries", 1, "extra attempts per failed job (0 disables retries)")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "idle poll interval when no job is pending")
+		tracing     = flag.Bool("trace", false, "record timing traces and upload them to the coordinator")
+		verbose     = flag.Bool("v", false, "log progress to stderr")
+		logFormat   = flag.String("log-format", logging.FormatText, "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		traceSpans  = flag.Int("trace-spans", 4096, "finished spans retained for completion shipping (0 disables tracing)")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		buildinfo.Print("dramdig-worker")
+		return
+	}
+
+	logger, err := logging.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	if *name == "" {
+		host, herr := os.Hostname()
+		if herr != nil || host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	// campaign.Config treats Retries==0 as "use the default"; the flag's
+	// 0 genuinely means no retries, which the engine spells -1.
+	r := *retries
+	if r == 0 {
+		r = -1
+	}
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(obs.Config{Capacity: *traceSpans, Logger: logger})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Workers:     *workers,
+		Retries:     r,
+		Poll:        *poll,
+		Tracing:     *tracing,
+		Logger:      logger,
+		Tracer:      tracer,
+	})
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "dramdig-worker: %s leasing from %s (workers %d)\n",
+			*name, *coordinator, *workers)
+	}
+	err = w.Run(ctx)
+	completed, failed := w.Stats()
+	logger.Info("worker stopped", "completed", completed, "failed", failed)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "dramdig-worker: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramdig-worker:", err)
+	os.Exit(1)
+}

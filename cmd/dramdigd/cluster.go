@@ -1,0 +1,536 @@
+// The coordinator side of the cluster subsystem: the /v1/cluster lease
+// handlers, the worker registry with its consistent-hash shard ring,
+// the lease-expiry sweeper and the dramdig_cluster_* metric families.
+// The protocol and its wire shapes live in internal/cluster; the queue
+// owns lease durability (fencing tokens, WAL-backed expiry-requeue) —
+// this file only wires the two to the HTTP surface and the campaign
+// states the rest of the API serves.
+//
+// Exactly-once across worker death: a worker that stops heartbeating
+// loses its lease after one TTL; the sweeper requeues the job with its
+// last shipped checkpoint, the next worker resumes from it, and the
+// dead worker's late completion is fenced off by its stale token. A
+// coordinator restart requeues every remotely leased job the same way
+// — surviving workers' heartbeats come back lease_lost and they
+// abandon, so no job ever completes twice.
+
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dramdig/internal/campaign"
+	"dramdig/internal/cluster"
+	"dramdig/internal/metrics"
+	"dramdig/internal/obs"
+	"dramdig/internal/queue"
+	"dramdig/internal/store"
+)
+
+// defaultLeaseTTL is the heartbeat deadline handed to workers when the
+// operator doesn't set -lease-ttl. A dead worker costs at most one TTL
+// of lost time before its job requeues.
+const defaultLeaseTTL = 30 * time.Second
+
+// reapAfterTTLs is how many silent lease TTLs a worker with no active
+// leases survives on the shard ring before being reaped from it.
+const reapAfterTTLs = 10
+
+// workerInfo is the registry's record of one worker.
+type workerInfo struct {
+	name      string
+	lastSeen  time.Time
+	live      bool
+	active    int
+	completed uint64
+	failed    uint64
+}
+
+// clusterState tracks registered workers, the shard ring and the
+// cluster metric counters. All mutation goes through its mutex; the
+// ring has its own lock so the queue's prefer callback can consult it
+// without holding cl.mu.
+type clusterState struct {
+	mu      sync.Mutex
+	workers map[string]*workerInfo
+	ring    *cluster.Ring
+
+	granted     *metrics.Counter
+	expired     *metrics.Counter
+	heartbeats  *metrics.Counter
+	rejections  *metrics.Counter
+	completions *metrics.Counter
+	failures    *metrics.Counter
+	results     *metrics.Counter
+	traces      *metrics.Counter
+	spans       *metrics.Counter
+}
+
+func newClusterState(reg *metrics.Registry) *clusterState {
+	cl := &clusterState{
+		workers: make(map[string]*workerInfo),
+		ring:    cluster.NewRing(0),
+		granted: reg.Counter("dramdig_cluster_leases_granted_total",
+			"Job leases granted to cluster workers.", nil),
+		expired: reg.Counter("dramdig_cluster_leases_expired_total",
+			"Leases expired by the sweeper (job requeued).", nil),
+		heartbeats: reg.Counter("dramdig_cluster_heartbeats_total",
+			"Lease heartbeats accepted.", nil),
+		rejections: reg.Counter("dramdig_cluster_lease_rejections_total",
+			"Lease-fenced requests rejected (stale token or expired lease).", nil),
+		completions: reg.Counter("dramdig_cluster_completions_total",
+			"Campaigns completed by cluster workers.", nil),
+		failures: reg.Counter("dramdig_cluster_failures_total",
+			"Campaigns failed by cluster workers.", nil),
+		results: reg.Counter("dramdig_cluster_results_uploaded_total",
+			"Result records uploaded by workers into the store.", nil),
+		traces: reg.Counter("dramdig_cluster_traces_uploaded_total",
+			"Timing traces uploaded by workers into the store.", nil),
+		spans: reg.Counter("dramdig_cluster_spans_ingested_total",
+			"Worker spans ingested into the coordinator's tracer.", nil),
+	}
+	reg.GaugeFunc("dramdig_cluster_workers",
+		"Cluster workers currently live on the shard ring.", nil,
+		func() float64 {
+			cl.mu.Lock()
+			defer cl.mu.Unlock()
+			n := 0
+			for _, w := range cl.workers {
+				if w.live {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("dramdig_cluster_leases_active",
+		"Leases currently held by cluster workers.", nil,
+		func() float64 {
+			cl.mu.Lock()
+			defer cl.mu.Unlock()
+			n := 0
+			for _, w := range cl.workers {
+				n += w.active
+			}
+			return float64(n)
+		})
+	return cl
+}
+
+// touch registers a worker (or refreshes its liveness) and puts it on
+// the shard ring.
+func (cl *clusterState) touch(name string) {
+	cl.mu.Lock()
+	w := cl.workers[name]
+	if w == nil {
+		w = &workerInfo{name: name}
+		cl.workers[name] = w
+	}
+	w.lastSeen = time.Now()
+	w.live = true
+	cl.mu.Unlock()
+	cl.ring.Add(name)
+}
+
+// adjust applies a delta to a worker's lease/outcome counters.
+func (cl *clusterState) adjust(name string, fn func(w *workerInfo)) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	w := cl.workers[name]
+	if w == nil {
+		return
+	}
+	fn(w)
+	if w.active < 0 {
+		w.active = 0
+	}
+}
+
+// owner returns the shard ring's preferred worker for a key.
+func (cl *clusterState) owner(key string) string { return cl.ring.Owner(key) }
+
+// reap drops workers that have been silent past the silence window and
+// hold no leases: off the ring, marked dead, rows retained for
+// /v1/workers history.
+func (cl *clusterState) reap(now time.Time, silence time.Duration) {
+	cl.mu.Lock()
+	var dead []string
+	for _, w := range cl.workers {
+		if w.live && w.active == 0 && now.Sub(w.lastSeen) > silence {
+			w.live = false
+			dead = append(dead, w.name)
+		}
+	}
+	cl.mu.Unlock()
+	for _, name := range dead {
+		cl.ring.Remove(name)
+	}
+}
+
+// statuses renders the /v1/workers rows, sorted by name.
+func (cl *clusterState) statuses() []cluster.WorkerStatus {
+	cl.mu.Lock()
+	rows := make([]cluster.WorkerStatus, 0, len(cl.workers))
+	for _, w := range cl.workers {
+		rows = append(rows, cluster.WorkerStatus{
+			Name:         w.name,
+			Live:         w.live,
+			LastSeenUnix: w.lastSeen.Unix(),
+			ActiveLeases: w.active,
+			Completed:    w.completed,
+			Failed:       w.failed,
+		})
+	}
+	cl.mu.Unlock()
+	for i := range rows {
+		rows[i].ShardShare = cl.ring.Share(rows[i].Name)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// --- lease handlers ---------------------------------------------------
+
+// handleClusterLease grants the next pending job to the requesting
+// worker. Draining coordinators refuse new leases (503 + Retry-After)
+// while still accepting heartbeats and completions for leases already
+// out — the cluster mirror of the POST /v1/campaigns drain behaviour.
+func (s *server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", s.retryAfter())
+		httpError(w, http.StatusServiceUnavailable, codeDraining,
+			"daemon is shutting down; no new leases")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	var req cluster.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "lease request needs a worker name")
+		return
+	}
+	s.cl.touch(req.Worker)
+
+	// Shard affinity: prefer jobs whose machine fingerprint hashes to
+	// this worker, so one machine's results and traces tend to flow
+	// through one node. Preference, not assignment — with no preferred
+	// job pending the worker takes the front of the queue.
+	prefer := func(j queue.Job) bool {
+		return s.cl.owner(cluster.ShardKey(j.Payload, j.ID)) == req.Worker
+	}
+	job, ok, err := s.q.Lease(req.Worker, s.cfg.leaseTTL, prefer)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	leased := time.Now()
+	s.cl.granted.Inc()
+	s.cl.adjust(req.Worker, func(wi *workerInfo) { wi.active++ })
+
+	specList, total := s.specsFromPayload(job.Payload)
+	s.mu.Lock()
+	st := s.campaigns[job.ID]
+	if st == nil {
+		st = newCampaignState(job.ID, "queued", specList, total)
+		st.requestID = job.RequestID
+		st.traceID = traceIDOf(job.TraceParent)
+		s.campaigns[job.ID] = st
+		s.order = append(s.order, job.ID)
+	}
+	s.mu.Unlock()
+	st.mu.Lock()
+	st.status = "running"
+	if len(specList) > 0 {
+		st.specs = specList
+		st.total = total
+	}
+	st.worker = req.Worker
+	st.bumpLocked()
+	st.mu.Unlock()
+
+	// Re-enter the submitting request's trace so the grant shows up in
+	// the campaign's span tree next to the worker's shipped spans:
+	// queue.wait is reconstructed from the persisted submission instant,
+	// cluster.lease marks the handoff.
+	if s.tracer != nil {
+		tctx := obs.WithTracer(s.baseCtx, s.tracer)
+		if sc, perr := obs.ParseTraceParent(job.TraceParent); perr == nil {
+			tctx = obs.WithSpanContext(tctx, sc)
+		}
+		if job.SubmittedUnixNano > 0 {
+			_, wsp := obs.Start(tctx, "queue.wait", obs.KV("campaign", job.ID),
+				obs.Int("attempt", int64(job.Attempts)))
+			wsp.SetStart(time.Unix(0, job.SubmittedUnixNano))
+			wsp.EndAt(leased)
+		}
+		_, lsp := obs.Start(tctx, "cluster.lease", obs.KV("campaign", job.ID),
+			obs.KV("worker", req.Worker), obs.Int("attempt", int64(job.Attempts)))
+		lsp.End()
+	}
+
+	s.logf("campaign %s: leased to worker %s (attempt %d)", job.ID, req.Worker, job.Attempts)
+	s.logTransition(job.ID, "queued", "running",
+		"worker", req.Worker, "attempt", job.Attempts)
+	writeJSON(w, http.StatusOK, cluster.LeaseGrant{
+		ID:          job.ID,
+		Payload:     job.Payload,
+		Checkpoint:  job.Checkpoint,
+		Attempts:    job.Attempts,
+		Priority:    job.Priority,
+		Token:       job.LeaseToken,
+		TTLMillis:   s.cfg.leaseTTL.Milliseconds(),
+		TraceParent: job.TraceParent,
+		RequestID:   job.RequestID,
+	})
+}
+
+// leaseError maps a queue lease error onto the wire: unknown job,
+// lease fencing rejection (the lease_lost contract), or internal.
+// Returns false when there was no error.
+func (s *server) leaseError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, queue.ErrNotFound):
+		httpError(w, http.StatusNotFound, codeNotFound, "%v", err)
+	case errors.Is(err, queue.ErrLeaseExpired), errors.Is(err, queue.ErrStaleLease):
+		s.cl.rejections.Inc()
+		httpError(w, http.StatusConflict, codeLeaseLost, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+	}
+	return true
+}
+
+// handleClusterHeartbeat extends a lease; a checkpoint riding along is
+// persisted in the queue WAL and reflected in the campaign's progress.
+// Heartbeats are accepted during drain: leases already out are allowed
+// to land.
+func (s *server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	var req cluster.HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad heartbeat body: %v", err)
+		return
+	}
+	if _, err := s.q.Heartbeat(id, req.Worker, req.Token, s.cfg.leaseTTL, req.Checkpoint); s.leaseError(w, err) {
+		return
+	}
+	s.cl.heartbeats.Inc()
+	s.cl.adjust(req.Worker, func(wi *workerInfo) { wi.lastSeen = time.Now() })
+	if len(req.Checkpoint) > 0 {
+		var cp campaign.Checkpoint
+		if err := json.Unmarshal(req.Checkpoint, &cp); err == nil {
+			s.mu.Lock()
+			st := s.campaigns[id]
+			s.mu.Unlock()
+			if st != nil {
+				st.mu.Lock()
+				if len(cp.Jobs) > st.done {
+					st.done = len(cp.Jobs)
+				}
+				st.bumpLocked()
+				st.mu.Unlock()
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, cluster.HeartbeatResponse{
+		TTLMillis: s.cfg.leaseTTL.Milliseconds(),
+	})
+}
+
+// handleClusterComplete records a worker's finished campaign: terminal
+// queue state with the report, worker spans into the tracer, campaign
+// state to "done".
+func (s *server) handleClusterComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, 32<<20)
+	var req cluster.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad completion body: %v", err)
+		return
+	}
+	if err := s.q.CompleteLease(id, req.Worker, req.Token, req.Report); s.leaseError(w, err) {
+		return
+	}
+	s.cl.completions.Inc()
+	s.cl.adjust(req.Worker, func(wi *workerInfo) {
+		wi.active--
+		wi.completed++
+		wi.lastSeen = time.Now()
+	})
+	if s.tracer != nil && len(req.Spans) > 0 {
+		s.cl.spans.Add(uint64(s.tracer.Ingest(req.Spans...)))
+	}
+	s.mu.Lock()
+	st := s.campaigns[id]
+	s.mu.Unlock()
+	if st != nil {
+		st.mu.Lock()
+		st.status = "done"
+		st.reportRaw = req.Report
+		st.worker = req.Worker
+		st.done = st.total
+		st.bumpLocked()
+		st.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	s.logf("campaign %s: completed by worker %s", id, req.Worker)
+	s.logTransition(id, "running", "done", "worker", req.Worker)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "done"})
+}
+
+// handleClusterFail records a worker's failed campaign.
+func (s *server) handleClusterFail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req cluster.FailRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad failure body: %v", err)
+		return
+	}
+	if err := s.q.FailLease(id, req.Worker, req.Token, req.Error); s.leaseError(w, err) {
+		return
+	}
+	s.cl.failures.Inc()
+	s.cl.adjust(req.Worker, func(wi *workerInfo) {
+		wi.active--
+		wi.failed++
+		wi.lastSeen = time.Now()
+	})
+	s.mu.Lock()
+	st := s.campaigns[id]
+	s.mu.Unlock()
+	if st != nil {
+		st.mu.Lock()
+		st.status = "failed"
+		st.errMsg = req.Error
+		st.worker = req.Worker
+		st.bumpLocked()
+		st.mu.Unlock()
+	}
+	s.logf("campaign %s: failed on worker %s: %s", id, req.Worker, req.Error)
+	s.logTransition(id, "running", "failed", "worker", req.Worker, "err", req.Error)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": "failed"})
+}
+
+// handleClusterUploadResult stores a worker-computed result record
+// under its machine fingerprint — the same record a local storeWrap
+// would have produced, so local and remote campaigns are
+// indistinguishable to GET /v1/mappings/{fp}.
+func (s *server) handleClusterUploadResult(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if !store.ValidFingerprint(fp) {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "malformed fingerprint %q", fp)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	var rec store.Record
+	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad record body: %v", err)
+		return
+	}
+	if rec.Fingerprint != fp {
+		httpError(w, http.StatusBadRequest, codeBadRequest,
+			"record fingerprint %q does not match path %q", rec.Fingerprint, fp)
+		return
+	}
+	if err := s.st.Put(&rec); err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	s.cl.results.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"fingerprint": fp, "stored": true})
+}
+
+// handleClusterUploadTrace stores a worker-recorded timing trace under
+// its machine fingerprint, overwriting atomically like a local
+// traceSink write-through would.
+func (s *server) handleClusterUploadTrace(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if !store.ValidFingerprint(fp) {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "malformed fingerprint %q", fp)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "read trace body: %v", err)
+		return
+	}
+	if err := s.st.PutTrace(fp, data); err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
+	s.cl.traces.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"fingerprint": fp, "bytes": len(data)})
+}
+
+// handleGetWorkers reports the worker registry: liveness, lease and
+// outcome counts, and each worker's exact shard-ring share.
+func (s *server) handleGetWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":      s.cl.statuses(),
+		"dispatch":     s.cfg.dispatch,
+		"lease_ttl_ms": s.cfg.leaseTTL.Milliseconds(),
+	})
+}
+
+// sweepLeases expires overdue leases on a timer: each expired job goes
+// back to "queued" (checkpoint intact) for the next worker — or the
+// local scheduler — to pick up. It also reaps long-silent workers from
+// the shard ring. Exits with the base context.
+func (s *server) sweepLeases() {
+	interval := s.cfg.leaseTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			lapsed, err := s.q.ExpireLeases(now)
+			if err != nil {
+				s.logf("lease sweep: %v", err)
+				continue
+			}
+			for _, job := range lapsed {
+				s.cl.expired.Inc()
+				s.cl.adjust(job.LeaseOwner, func(wi *workerInfo) { wi.active-- })
+				s.mu.Lock()
+				st := s.campaigns[job.ID]
+				s.mu.Unlock()
+				if st != nil {
+					st.mu.Lock()
+					st.status = "queued"
+					st.worker = ""
+					st.bumpLocked()
+					st.mu.Unlock()
+				}
+				s.logf("campaign %s: lease expired on worker %s; requeued", job.ID, job.LeaseOwner)
+				s.logTransition(job.ID, "running", "queued",
+					"reason", "lease expired", "worker", job.LeaseOwner, "attempt", job.Attempts)
+			}
+			s.cl.reap(now, reapAfterTTLs*s.cfg.leaseTTL)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+// Tests for the cluster subsystem's coordinator side: the lease
+// protocol's happy path and fencing edge cases, a real campaign run by
+// real remote workers (fingerprints identical to a local run, span
+// tree crossing the process boundary), worker death mid-campaign
+// (TestRecoveryKillWorker — the CI recovery suite picks it up by
+// name), and drain semantics for leases already out.
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dramdig/internal/campaign"
+	"dramdig/internal/cluster"
+	"dramdig/internal/obs"
+	"dramdig/internal/queue"
+)
+
+// clusterReq issues a request and returns the raw recorder — unlike
+// doJSON it tolerates bodyless responses (204 from an empty lease).
+func clusterReq(t *testing.T, srv http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	r := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	return w
+}
+
+// leaseAs asks for the next lease as the named worker: (grant, true)
+// on a grant, (zero, false) on 204, test failure on anything else.
+func leaseAs(t *testing.T, srv http.Handler, worker string) (cluster.LeaseGrant, bool) {
+	t.Helper()
+	w := clusterReq(t, srv, "POST", "/v1/cluster/lease", fmt.Sprintf(`{"worker":%q}`, worker))
+	if w.Code == http.StatusNoContent {
+		return cluster.LeaseGrant{}, false
+	}
+	if w.Code != http.StatusOK {
+		t.Fatalf("lease as %s: %d %s", worker, w.Code, w.Body.String())
+	}
+	var g cluster.LeaseGrant
+	if err := json.Unmarshal(w.Body.Bytes(), &g); err != nil {
+		t.Fatalf("lease grant: %v (%s)", err, w.Body.String())
+	}
+	return g, true
+}
+
+// TestClusterLeaseProtocol drives the lease API at the handler level:
+// grant shape, single-ownership, token fencing on heartbeat, complete
+// and fail, and the worker registry rows it all leaves behind.
+func TestClusterLeaseProtocol(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{dispatch: "remote"})
+
+	// Nothing queued: no grant.
+	if _, ok := leaseAs(t, srv, "w1"); ok {
+		t.Fatal("leased a job from an empty queue")
+	}
+
+	_, m := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1],"seed":3}`, nil)
+	id := m["id"].(string)
+	if status, _ := m["status"].(string); status != "queued" {
+		t.Fatalf("remote-dispatch submission status %q, want queued", status)
+	}
+
+	g, ok := leaseAs(t, srv, "w1")
+	if !ok {
+		t.Fatal("no grant for a queued campaign")
+	}
+	if g.ID != id || g.Token == "" || g.Attempts != 1 || g.TTLMillis <= 0 || len(g.Payload) == 0 {
+		t.Fatalf("grant malformed: %+v", g)
+	}
+
+	// The job is held: a second worker gets nothing (no double lease).
+	if g2, ok := leaseAs(t, srv, "w2"); ok {
+		t.Fatalf("leased job held by w1 to w2: %+v", g2)
+	}
+
+	// Heartbeats are fenced by the token and the job ID.
+	code, em := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/heartbeat",
+		`{"worker":"w1","token":"deadbeefdeadbeef"}`)
+	if code != http.StatusConflict {
+		t.Fatalf("stale-token heartbeat: %d %v, want 409", code, em)
+	}
+	envelope(t, em, codeLeaseLost)
+	code, em = doJSON(t, srv, "POST", "/v1/cluster/jobs/c999/heartbeat",
+		fmt.Sprintf(`{"worker":"w1","token":%q}`, g.Token))
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown-job heartbeat: %d %v, want 404", code, em)
+	}
+	code, hb := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/heartbeat",
+		fmt.Sprintf(`{"worker":"w1","token":%q}`, g.Token))
+	if code != http.StatusOK {
+		t.Fatalf("heartbeat: %d %v", code, hb)
+	}
+	if ttl, _ := hb["ttl_ms"].(float64); ttl <= 0 {
+		t.Fatalf("heartbeat renewed ttl_ms %v, want > 0", hb["ttl_ms"])
+	}
+
+	// Completion and failure are fenced the same way — by token and by
+	// owner, so a worker the lease moved away from cannot corrupt state.
+	code, em = doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/complete",
+		`{"worker":"w1","token":"deadbeefdeadbeef","report":{"total":1}}`)
+	if code != http.StatusConflict {
+		t.Fatalf("stale-token complete: %d %v, want 409", code, em)
+	}
+	envelope(t, em, codeLeaseLost)
+	code, em = doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/fail",
+		fmt.Sprintf(`{"worker":"w2","token":%q,"error":"not mine"}`, g.Token))
+	if code != http.StatusConflict {
+		t.Fatalf("wrong-owner fail: %d %v, want 409", code, em)
+	}
+
+	code, cm := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/complete",
+		fmt.Sprintf(`{"worker":"w1","token":%q,"report":{"total":1,"succeeded":1,"jobs":[]}}`, g.Token))
+	if code != http.StatusOK {
+		t.Fatalf("complete: %d %v", code, cm)
+	}
+	code, fm := doJSON(t, srv, "GET", "/v1/campaigns/"+id, "")
+	if code != http.StatusOK || fm["status"] != "done" {
+		t.Fatalf("campaign after remote completion: %d %v", code, fm)
+	}
+	if rep, _ := fm["report"].(map[string]any); rep == nil || rep["total"] != float64(1) {
+		t.Fatalf("campaign report not the worker's: %v", fm["report"])
+	}
+
+	// The terminal state is sticky: a duplicate completion is rejected.
+	code, em = doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/complete",
+		fmt.Sprintf(`{"worker":"w1","token":%q,"report":{"total":1}}`, g.Token))
+	if code != http.StatusConflict {
+		t.Fatalf("duplicate complete: %d %v, want 409", code, em)
+	}
+	envelope(t, em, codeLeaseLost)
+
+	// The registry remembers both workers; only w1 completed anything.
+	code, wm := doJSON(t, srv, "GET", "/v1/workers", "")
+	if code != http.StatusOK || wm["dispatch"] != "remote" {
+		t.Fatalf("GET /v1/workers: %d %v", code, wm)
+	}
+	rows, _ := wm["workers"].([]any)
+	byName := map[string]map[string]any{}
+	for _, r := range rows {
+		rm := r.(map[string]any)
+		byName[rm["name"].(string)] = rm
+	}
+	w1 := byName["w1"]
+	if w1 == nil || w1["completed"] != float64(1) || w1["active_leases"] != float64(0) || w1["live"] != true {
+		t.Fatalf("w1 registry row: %v", w1)
+	}
+	if byName["w2"] == nil {
+		t.Fatalf("w2 never registered: %v", rows)
+	}
+	if share, _ := w1["shard_share"].(float64); share <= 0 || share >= 1 {
+		t.Fatalf("w1 shard share %v, want in (0,1) with two workers", w1["shard_share"])
+	}
+}
+
+// TestClusterLeaseExpiry covers the edge cases around a lapsed lease:
+// the sweeper requeues the job, a second worker gets it under a fresh
+// token, and every call from the original owner — heartbeat, complete
+// — bounces off the fence without corrupting queue state.
+func TestClusterLeaseExpiry(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{
+		dispatch: "remote",
+		leaseTTL: 250 * time.Millisecond,
+	})
+	_, m := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1],"seed":3}`, nil)
+	id := m["id"].(string)
+
+	g1, ok := leaseAs(t, srv, "w1")
+	if !ok {
+		t.Fatal("no grant for w1")
+	}
+
+	// w1 goes silent; the sweeper must requeue and w2 must get the job.
+	var g2 cluster.LeaseGrant
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g2, ok = leaseAs(t, srv, "w2"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired onto w2")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g2.ID != id || g2.Token == g1.Token || g2.Attempts < 2 {
+		t.Fatalf("re-grant malformed: %+v (first token %s)", g2, g1.Token)
+	}
+
+	// Everything from the dead worker is fenced off.
+	code, em := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/heartbeat",
+		fmt.Sprintf(`{"worker":"w1","token":%q}`, g1.Token))
+	if code != http.StatusConflict {
+		t.Fatalf("heartbeat after expiry: %d %v, want 409", code, em)
+	}
+	envelope(t, em, codeLeaseLost)
+	code, em = doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/complete",
+		fmt.Sprintf(`{"worker":"w1","token":%q,"report":{"total":1}}`, g1.Token))
+	if code != http.StatusConflict {
+		t.Fatalf("complete from stale worker: %d %v, want 409", code, em)
+	}
+	envelope(t, em, codeLeaseLost)
+
+	// The fence protected w2's lease: its completion lands normally.
+	code, cm := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/complete",
+		fmt.Sprintf(`{"worker":"w2","token":%q,"report":{"total":1,"succeeded":1,"jobs":[]}}`, g2.Token))
+	if code != http.StatusOK {
+		t.Fatalf("complete from w2: %d %v", code, cm)
+	}
+	qs := srv.q.StatsSnapshot()
+	if qs.Done != 1 || qs.Pending != 0 || qs.Failed != 0 {
+		t.Fatalf("queue state corrupted: %+v", qs)
+	}
+	if qs.Expired < 1 {
+		t.Fatalf("no lease expiry recorded: %+v", qs)
+	}
+}
+
+// startWorker runs a cluster worker against the coordinator URL until
+// the returned stop function is called (it blocks until the worker has
+// exited).
+func startWorker(t *testing.T, url, name string, jobs int) (w *cluster.Worker, stop func()) {
+	t.Helper()
+	w = cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: url,
+		Name:        name,
+		Workers:     jobs,
+		Retries:     1,
+		Poll:        10 * time.Millisecond,
+		Tracer:      obs.NewTracer(obs.Config{Capacity: 1024}),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	t.Cleanup(stop)
+	return w, stop
+}
+
+// TestClusterRemoteCampaign is the acceptance test for the tentpole: a
+// campaign submitted to a remote-dispatch coordinator is executed by
+// real worker processes (in-process goroutines over real HTTP), the
+// result fingerprints are identical to a local run, and the span tree
+// served by the coordinator contains both its own and the workers'
+// spans under the client's inbound trace ID.
+func TestClusterRemoteCampaign(t *testing.T) {
+	const body = `{"machines":[1,4],"seed":5}`
+
+	// Baseline: the same campaign on a plain local daemon.
+	base := newTestServerWith(t, queue.Config{}, serverConfig{})
+	_, bm := postJSON(t, base, "POST", "/v1/campaigns", body, nil)
+	want := fingerprintsOf(t, waitDone(t, base, bm["id"].(string)))
+
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{
+		dispatch: "remote",
+		tracer:   obs.NewTracer(obs.Config{Capacity: 4096}),
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	startWorker(t, ts.URL, "alpha", 2)
+	startWorker(t, ts.URL, "beta", 2)
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	_, m := postJSON(t, srv, "POST", "/v1/campaigns", body, map[string]string{
+		obs.TraceParentHeader: "00-" + traceID + "-00f067aa0ba902b7-01",
+	})
+	id := m["id"].(string)
+	final := waitDone(t, srv, id)
+	if final["status"] != "done" {
+		t.Fatalf("remote campaign: %v", final)
+	}
+	got := fingerprintsOf(t, final)
+	if len(got) != len(want) {
+		t.Fatalf("remote fingerprints %v, local %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fingerprint %d: remote %s, local %s", i, got[i], want[i])
+		}
+	}
+
+	// The remotely computed results are served like local ones.
+	for _, fp := range mustSpecFingerprints(t, body) {
+		if code, _ := doJSON(t, srv, "GET", "/v1/mappings/"+fp, ""); code != http.StatusOK {
+			t.Fatalf("GET /v1/mappings/%s: %d", fp, code)
+		}
+	}
+
+	// One span tree, one trace ID, spans from both processes: the
+	// coordinator's handoff (cluster.lease) and the worker's campaign
+	// run (worker.campaign, campaign.run) under the inbound trace.
+	code, tree := doJSON(t, srv, "GET", "/v1/campaigns/"+id+"/spans", "")
+	if code != http.StatusOK || tree["trace_id"] != traceID {
+		t.Fatalf("GET spans: %d %v, want trace %s", code, tree, traceID)
+	}
+	roots := []map[string]any{}
+	if raw, ok := tree["spans"].([]any); ok {
+		for _, n := range raw {
+			if nm, ok := n.(map[string]any); ok {
+				roots = append(roots, nm)
+			}
+		}
+	}
+	names := map[string]bool{}
+	treeNames(roots, names)
+	for _, wantSpan := range []string{"queue.wait", "cluster.lease", "worker.campaign", "campaign.job"} {
+		if !names[wantSpan] {
+			t.Errorf("span tree missing %q (have %v)", wantSpan, names)
+		}
+	}
+	tids := map[string]bool{}
+	treeTraceIDs(roots, tids)
+	if len(tids) != 1 || !tids[traceID] {
+		t.Errorf("span tree mixes trace IDs: %v", tids)
+	}
+
+	// Between them the two workers completed the campaign exactly once.
+	_, wm := doJSON(t, srv, "GET", "/v1/workers", "")
+	var completed float64
+	rows, _ := wm["workers"].([]any)
+	for _, r := range rows {
+		completed += r.(map[string]any)["completed"].(float64)
+	}
+	if completed != 1 {
+		t.Errorf("workers completed %v campaigns, want exactly 1: %v", completed, wm)
+	}
+}
+
+// mustSpecFingerprints resolves a campaign request body to its machine
+// fingerprints via the same deterministic spec builder both sides use.
+func mustSpecFingerprints(t *testing.T, body string) []string {
+	t.Helper()
+	var req cluster.CampaignRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := cluster.BuildSpecs(req, req.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make([]string, len(specs))
+	for i, s := range specs {
+		fps[i] = s.MachineFingerprint()
+	}
+	return fps
+}
+
+// killSwitch simulates a worker dying at the worst moment. The first
+// checkpoint-bearing heartbeat from the victim passes through (so the
+// coordinator has recorded progress) and then the victim is killed;
+// if the victim reaches its completion call before any checkpoint
+// shipped, the completion is refused and the victim killed there
+// instead. Either way the victim never completes its job, and once
+// dead, none of its calls reach the coordinator again.
+type killSwitch struct {
+	next   http.Handler
+	victim string
+	kill   context.CancelFunc
+
+	mu     sync.Mutex
+	killed bool
+}
+
+func (k *killSwitch) tripped() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.killed
+}
+
+// trip marks the victim dead, cancelling its context exactly once.
+func (k *killSwitch) trip() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.killed {
+		k.killed = true
+		k.kill()
+	}
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == "POST" && strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
+		data, _ := io.ReadAll(r.Body)
+		r.Body = io.NopCloser(bytes.NewReader(data))
+		var body struct {
+			Worker     string          `json:"worker"`
+			Checkpoint json.RawMessage `json:"checkpoint"`
+		}
+		_ = json.Unmarshal(data, &body)
+		if body.Worker == k.victim {
+			refuse := func() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":{"code":"unavailable","message":"connection lost"}}`)
+			}
+			if k.tripped() {
+				refuse()
+				return
+			}
+			if strings.HasSuffix(r.URL.Path, "/complete") {
+				k.trip()
+				refuse()
+				return
+			}
+			if strings.HasSuffix(r.URL.Path, "/heartbeat") && len(body.Checkpoint) > 0 {
+				var cp campaign.Checkpoint
+				if err := json.Unmarshal(body.Checkpoint, &cp); err == nil && len(cp.Jobs) > 0 {
+					// Let the checkpoint land first, then kill.
+					defer k.trip()
+				}
+			}
+		}
+	}
+	k.next.ServeHTTP(w, r)
+}
+
+// TestRecoveryKillWorker: kill one of the cluster workers mid-campaign
+// and require the campaign to still complete exactly once, with result
+// fingerprints identical to an uninterrupted local run. The victim's
+// lease must expire and requeue the job — checkpoint intact — for the
+// surviving worker, which resumes from the checkpoint (or replays
+// already-uploaded results from the store) instead of redoing the work.
+// Named into the TestRecovery suite so CI runs it under -race.
+func TestRecoveryKillWorker(t *testing.T) {
+	const body = `{"machines":[1,4,7],"seed":5,"workers":1}`
+
+	base := newTestServerWith(t, queue.Config{}, serverConfig{maxRunning: 1})
+	_, bm := postJSON(t, base, "POST", "/v1/campaigns", body, nil)
+	want := fingerprintsOf(t, waitDone(t, base, bm["id"].(string)))
+
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{
+		dispatch: "remote",
+		leaseTTL: 300 * time.Millisecond,
+	})
+	vctx, vcancel := context.WithCancel(context.Background())
+	t.Cleanup(vcancel)
+	ks := &killSwitch{next: srv, victim: "casualty", kill: vcancel}
+	ts := httptest.NewServer(ks)
+	t.Cleanup(ts.Close)
+
+	// The victim leases the campaign first; the kill switch ends it the
+	// moment it has either shipped a checkpoint or tried to complete.
+	victim := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: ts.URL,
+		Name:        "casualty",
+		Workers:     1,
+		Retries:     1,
+		Poll:        10 * time.Millisecond,
+	})
+	vdone := make(chan struct{})
+	go func() {
+		defer close(vdone)
+		_ = victim.Run(vctx)
+	}()
+
+	_, m := postJSON(t, srv, "POST", "/v1/campaigns", body, nil)
+	id := m["id"].(string)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !ks.tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("kill switch never tripped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	vcancel()
+	<-vdone
+
+	// The survivor picks the job up after the lease expires and
+	// finishes it.
+	startWorker(t, ts.URL, "survivor", 1)
+	final := waitDone(t, srv, id)
+	if final["status"] != "done" {
+		t.Fatalf("campaign after worker death: %v", final)
+	}
+	got := fingerprintsOf(t, final)
+	if len(got) != len(want) {
+		t.Fatalf("fingerprints after worker death %v, baseline %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fingerprint %d: %s, baseline %s", i, got[i], want[i])
+		}
+	}
+
+	// The victim's partial work was reused, not redone: the survivor
+	// resumed from the checkpoint and/or replayed uploaded results.
+	rep := final["report"].(map[string]any)
+	resumed, _ := rep["resumed"].(float64)
+	cached, _ := rep["cached"].(float64)
+	if resumed+cached < 1 {
+		t.Errorf("no work carried across the worker death (resumed %v, cached %v)", resumed, cached)
+	}
+
+	// Exactly once, through a real expiry.
+	qs := srv.q.StatsSnapshot()
+	if qs.Done != 1 || qs.Pending != 0 || qs.Failed != 0 {
+		t.Fatalf("queue state after worker death: %+v", qs)
+	}
+	if qs.Expired < 1 {
+		t.Fatalf("victim's lease never expired: %+v", qs)
+	}
+	if n := srv.cl.completions.Value(); n != 1 {
+		t.Fatalf("campaign completed %d times, want exactly 1", n)
+	}
+}
+
+// TestClusterDrainStopsLeases: a draining coordinator refuses new
+// leases with 503 + Retry-After but keeps accepting heartbeats and
+// completions for leases already out, so in-flight work lands instead
+// of being thrown away.
+func TestClusterDrainStopsLeases(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{dispatch: "remote"})
+	for _, body := range []string{`{"machines":[1],"seed":3}`, `{"machines":[4],"seed":3}`} {
+		if w, m := postJSON(t, srv, "POST", "/v1/campaigns", body, nil); w.Code != http.StatusAccepted {
+			t.Fatalf("POST: %d %v", w.Code, m)
+		}
+	}
+	g, ok := leaseAs(t, srv, "w1")
+	if !ok {
+		t.Fatal("no grant before drain")
+	}
+
+	srv.beginDrain()
+
+	w := clusterReq(t, srv, "POST", "/v1/cluster/lease", `{"worker":"w2"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("lease during drain: %d %s, want 503", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("draining lease refusal missing Retry-After")
+	}
+	var em map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &em); err != nil {
+		t.Fatalf("draining refusal body: %v", err)
+	}
+	envelope(t, em, codeDraining)
+
+	// The lease already out drains to completion.
+	code, hb := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+g.ID+"/heartbeat",
+		fmt.Sprintf(`{"worker":"w1","token":%q}`, g.Token))
+	if code != http.StatusOK {
+		t.Fatalf("heartbeat during drain: %d %v", code, hb)
+	}
+	code, cm := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+g.ID+"/complete",
+		fmt.Sprintf(`{"worker":"w1","token":%q,"report":{"total":1,"succeeded":1,"jobs":[]}}`, g.Token))
+	if code != http.StatusOK {
+		t.Fatalf("complete during drain: %d %v", code, cm)
+	}
+	code, fm := doJSON(t, srv, "GET", "/v1/campaigns/"+g.ID, "")
+	if code != http.StatusOK || fm["status"] != "done" {
+		t.Fatalf("campaign after drained completion: %d %v", code, fm)
+	}
+}

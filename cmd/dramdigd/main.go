@@ -9,7 +9,8 @@
 //	dramdigd [-addr :8080] [-cache-dir DIR] [-trace-dir DIR] [-queue-dir DIR]
 //	         [-workers N] [-retries N] [-max-running N] [-max-queued N] [-v]
 //	         [-pprof-addr :6060] [-log-format text|json] [-log-level info]
-//	         [-trace-spans N] [-trace-slow-threshold DUR] [-version]
+//	         [-trace-spans N] [-trace-slow-threshold DUR]
+//	         [-dispatch local|remote] [-lease-ttl 30s] [-version]
 //
 // API (v1, the canonical surface):
 //
@@ -24,8 +25,14 @@
 //	GET    /v1/mappings/{fingerprint}  cached mapping by machine fingerprint
 //	GET    /v1/traces/{fingerprint}    recorded timing trace by machine fingerprint
 //	GET    /v1/queue                   queue depth, running campaigns, capacity, drain flag
+//	GET    /v1/workers                 cluster worker registry: liveness, leases, shard shares
 //	GET    /v1/healthz                 liveness + queue depth, cache entries, full statistics
 //	GET    /v1/metrics                 Prometheus text exposition of every layer's metrics (alias /metrics)
+//
+// The /v1/cluster routes (lease, heartbeat, complete, fail, result and
+// trace upload) serve dramdig-worker processes; see README "Running a
+// cluster". With -dispatch remote the in-process scheduler stands down
+// and campaigns run only on leased workers.
 //
 // Every response carries X-Request-Id (client-supplied or minted) and
 // every request produces one structured log line (-log-format text|json,
@@ -103,12 +110,17 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		traceSpans = flag.Int("trace-spans", 4096, "finished request spans retained in memory (0 disables tracing)")
 		traceSlow  = flag.Duration("trace-slow-threshold", 0, "promote spans at least this long to WARN log lines (0: off)")
+		dispatch   = flag.String("dispatch", "local", "campaign execution mode: local (in-process scheduler) or remote (cluster workers lease jobs via /v1/cluster)")
+		leaseTTL   = flag.Duration("lease-ttl", defaultLeaseTTL, "cluster lease heartbeat deadline; a silent worker loses its job after this long")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		buildinfo.Print("dramdigd")
 		return
+	}
+	if *dispatch != "local" && *dispatch != "remote" {
+		fatal(fmt.Errorf("-dispatch %q: want local or remote", *dispatch))
 	}
 
 	logf := func(string, ...any) {}
@@ -159,6 +171,8 @@ func main() {
 		registry:   registry,
 		logger:     logger,
 		tracer:     tracer,
+		dispatch:   *dispatch,
+		leaseTTL:   *leaseTTL,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,

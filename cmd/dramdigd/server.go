@@ -36,16 +36,14 @@ import (
 	"time"
 
 	"dramdig/internal/campaign"
+	"dramdig/internal/cluster"
 	"dramdig/internal/core"
 	"dramdig/internal/engine"
 	"dramdig/internal/logging"
-	"dramdig/internal/machine"
 	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
 	"dramdig/internal/queue"
-	"dramdig/internal/specs"
 	"dramdig/internal/store"
-	"dramdig/internal/sysinfo"
 	"dramdig/internal/timing"
 )
 
@@ -72,6 +70,15 @@ type serverConfig struct {
 	// tracer records request-scoped spans across every layer; nil
 	// disables tracing (every instrumentation site degrades to a no-op).
 	tracer *obs.Tracer
+	// dispatch selects the execution mode: "local" (default) runs
+	// campaigns in this process's scheduler; "remote" hands them to
+	// cluster workers through the /v1/cluster lease API. The lease API
+	// is served in both modes — remote merely stops the local scheduler
+	// from competing for jobs.
+	dispatch string
+	// leaseTTL is the cluster heartbeat deadline (default 30s): a worker
+	// silent past it loses the lease and the job requeues.
+	leaseTTL time.Duration
 }
 
 // server is the daemon's handler. Campaigns run asynchronously on the
@@ -96,6 +103,9 @@ type server struct {
 	cm     *campaign.Metrics
 	ids    *logging.IDGen
 	tracer *obs.Tracer
+	// cl tracks cluster workers, their shard ring and lease counters
+	// (cluster.go); the lease-expiry sweeper feeds it.
+	cl *clusterState
 	// runCampaign is campaign.Run, injectable for handler tests.
 	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
 
@@ -135,6 +145,9 @@ type campaignState struct {
 	// (see queue.Job.TraceParent), so they survive restarts too.
 	requestID string
 	traceID   string
+	// worker names the cluster worker currently holding this campaign's
+	// lease ("" when running locally).
+	worker string
 	// cancel stops the campaign's context; cancelRequested marks a
 	// client cancellation so completion reports "cancelled", not
 	// "failed".
@@ -182,6 +195,12 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	if cfg.logger == nil {
 		cfg.logger = logging.Discard()
 	}
+	if cfg.dispatch == "" {
+		cfg.dispatch = "local"
+	}
+	if cfg.leaseTTL <= 0 {
+		cfg.leaseTTL = defaultLeaseTTL
+	}
 	s := &server{
 		st:          st,
 		q:           q,
@@ -204,6 +223,7 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.st.RegisterMetrics(s.reg)
 	s.cm = campaign.NewMetrics(s.reg)
 	s.inst = engine.NewInstrument(s.reg)
+	s.cl = newClusterState(s.reg)
 	if tr := s.tracer; tr != nil {
 		s.reg.CounterFunc("dramdig_trace_spans_started_total",
 			"Spans opened by the tracer.", nil,
@@ -232,6 +252,15 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleGetTrace)
 	s.mux.HandleFunc("GET /v1/queue", s.handleGetQueue)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// The cluster lease API (cluster.go): workers pull jobs, heartbeat
+	// checkpoints, report outcomes and upload artifacts.
+	s.mux.HandleFunc("POST /v1/cluster/lease", s.handleClusterLease)
+	s.mux.HandleFunc("POST /v1/cluster/jobs/{id}/heartbeat", s.handleClusterHeartbeat)
+	s.mux.HandleFunc("POST /v1/cluster/jobs/{id}/complete", s.handleClusterComplete)
+	s.mux.HandleFunc("POST /v1/cluster/jobs/{id}/fail", s.handleClusterFail)
+	s.mux.HandleFunc("PUT /v1/cluster/results/{fingerprint}", s.handleClusterUploadResult)
+	s.mux.HandleFunc("PUT /v1/cluster/traces/{fingerprint}", s.handleClusterUploadTrace)
+	s.mux.HandleFunc("GET /v1/workers", s.handleGetWorkers)
 	s.mux.Handle("GET /v1/metrics", s.reg.Handler())
 	// /metrics is the conventional scrape path — an alias, not a
 	// deprecated route.
@@ -247,7 +276,12 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.handler = s.observe(s.mux)
 
 	s.recoverFromQueue()
-	go s.schedule()
+	if cfg.dispatch != "remote" {
+		// Remote dispatch leaves the queue to the cluster workers; the
+		// local scheduler would otherwise race them for every job.
+		go s.schedule()
+	}
+	go s.sweepLeases()
 	return s
 }
 
@@ -272,7 +306,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // retryAfterSecondsHint in observe.go).
 const (
 	maxCampaigns    = 64
-	maxCampaignJobs = 256
+	maxCampaignJobs = cluster.MaxCampaignJobs
 	maxRunning      = 8
 )
 
@@ -318,14 +352,10 @@ func (s *server) beginDrain() {
 
 // --- queue-driven execution -------------------------------------------
 
-// campaignPayload is what a campaign job carries through the queue: the
-// validated request plus the resolved seed. Specs rebuild from it
-// deterministically, which is what makes a recovered job identical to
-// the one that was interrupted.
-type campaignPayload struct {
-	Request campaignRequest `json:"request"`
-	Seed    int64           `json:"seed"`
-}
+// campaignPayload is what a campaign job carries through the queue.
+// The shape lives in internal/cluster (as do the request and report
+// shapes below) so remote workers deserialize it identically.
+type campaignPayload = cluster.Payload
 
 // recoverFromQueue rebuilds campaign states for every job the queue
 // retained across a restart: pending jobs (including re-enqueued
@@ -692,127 +722,15 @@ func (s *server) restoreFromStore(ctx context.Context, spec campaign.Spec, jc ca
 
 // --- request/response shapes -----------------------------------------
 
-// customSpec is a user-supplied machine definition in plain JSON (the
-// paper's notation for the mapping fields).
-type customSpec struct {
-	Name         string `json:"name"`
-	Microarch    string `json:"microarch"`
-	CPU          string `json:"cpu"`
-	Mobile       bool   `json:"mobile"`
-	Standard     string `json:"standard"` // "DDR3" or "DDR4"
-	MemBytes     uint64 `json:"mem_bytes"`
-	Channels     int    `json:"channels"`
-	DIMMsPerChan int    `json:"dimms_per_channel"`
-	RanksPerDIMM int    `json:"ranks_per_dimm"`
-	BanksPerRank int    `json:"banks_per_rank"`
-	Chip         string `json:"chip"`
-	BankFuncs    string `json:"bank_funcs"`
-	RowBits      string `json:"row_bits"`
-	ColBits      string `json:"col_bits"`
-}
+// campaignRequest is the POST /campaigns body; the shape (with its
+// customSpec machine definitions) lives in internal/cluster.
+type campaignRequest = cluster.CampaignRequest
 
-func (c customSpec) definition() (machine.Definition, error) {
-	var std specs.Standard
-	switch c.Standard {
-	case "DDR3":
-		std = specs.DDR3
-	case "DDR4":
-		std = specs.DDR4
-	default:
-		return machine.Definition{}, fmt.Errorf("standard %q (want DDR3 or DDR4)", c.Standard)
-	}
-	name := c.Name
-	if name == "" {
-		name = "custom"
-	}
-	return machine.Definition{
-		Name:      name,
-		Microarch: c.Microarch,
-		CPU:       c.CPU,
-		Mobile:    c.Mobile,
-		Standard:  std,
-		MemBytes:  c.MemBytes,
-		Config: sysinfo.DIMMConfig{
-			Channels: c.Channels, DIMMsPerChan: c.DIMMsPerChan,
-			RanksPerDIMM: c.RanksPerDIMM, BanksPerRank: c.BanksPerRank,
-		},
-		ChipPart:  c.Chip,
-		BankFuncs: c.BankFuncs,
-		RowBits:   c.RowBits,
-		ColBits:   c.ColBits,
-	}, nil
-}
-
-// campaignRequest is the POST /campaigns body. At least one machine
-// source must be present; sources combine into one campaign.
-type campaignRequest struct {
-	// Machines lists paper setting numbers (1-9); -1 expands to all nine.
-	Machines []int `json:"machines,omitempty"`
-	// Generated adds n randomly generated machines.
-	Generated int `json:"generated,omitempty"`
-	// Custom adds user-defined machines.
-	Custom []customSpec `json:"custom,omitempty"`
-	// Seed drives machine construction and the tool (default 42).
-	Seed int64 `json:"seed,omitempty"`
-	// Workers overrides the daemon's worker cap for this campaign.
-	Workers int `json:"workers,omitempty"`
-	// Priority orders the queue: higher dequeues first (default 0).
-	Priority int `json:"priority,omitempty"`
-}
-
+// buildSpecs expands a request into job specs — a pure function of
+// (request, seed) shared with remote workers, so both sides derive
+// identical specs for one payload.
 func (s *server) buildSpecs(req campaignRequest, seed int64) ([]campaign.Spec, error) {
-	// Bound the job count before anything allocates proportionally to
-	// the request; a negative generated count must not be allowed to
-	// drive the estimate down.
-	if req.Generated < 0 {
-		return nil, fmt.Errorf("generated count %d is negative", req.Generated)
-	}
-	est := len(req.Custom) + req.Generated
-	for _, no := range req.Machines {
-		if no == -1 {
-			est += len(machine.Settings())
-		} else {
-			est++
-		}
-	}
-	if est > maxCampaignJobs {
-		return nil, fmt.Errorf("campaign of %d jobs exceeds the limit of %d", est, maxCampaignJobs)
-	}
-	var out []campaign.Spec
-	for _, no := range req.Machines {
-		if no == -1 {
-			out = append(out, campaign.PaperSpecs(seed)...)
-			continue
-		}
-		spec, err := campaign.PaperSpec(no, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, spec)
-	}
-	if req.Generated > 0 {
-		gen, err := campaign.GeneratedSpecs(req.Generated, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, gen...)
-	}
-	for i, c := range req.Custom {
-		def, err := c.definition()
-		if err != nil {
-			return nil, fmt.Errorf("custom[%d]: %w", i, err)
-		}
-		out = append(out, campaign.Spec{Name: def.Name, Def: def, Seed: seed + int64(i)*613})
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty campaign: give machines, generated or custom")
-	}
-	// Defense-in-depth re-check: est above mirrors the construction of
-	// out; if the two ever drift apart, this keeps the bound authoritative.
-	if len(out) > maxCampaignJobs {
-		return nil, fmt.Errorf("campaign of %d jobs exceeds the limit of %d", len(out), maxCampaignJobs)
-	}
-	return out, nil
+	return cluster.BuildSpecs(req, seed)
 }
 
 // --- handlers ---------------------------------------------------------
@@ -1011,6 +929,8 @@ func (s *server) handleGetQueue(w http.ResponseWriter, r *http.Request) {
 		"failed":      qs.Failed,
 		"cancelled":   qs.Cancelled,
 		"recovered":   qs.Recovered,
+		"leased":      qs.Leased,
+		"dispatch":    s.cfg.dispatch,
 	})
 }
 
@@ -1356,74 +1276,11 @@ func (s *server) serveTrace(w http.ResponseWriter, fp string) {
 	_, _ = w.Write(data)
 }
 
-// jobJSON is one job row in a campaign status response.
-type jobJSON struct {
-	Name   string `json:"name"`
-	OK     bool   `json:"ok"`
-	Match  bool   `json:"match"`
-	Cached bool   `json:"cached"`
-	// Resumed marks a job restored from a recovery checkpoint instead of
-	// executed in this process.
-	Resumed     bool    `json:"resumed,omitempty"`
-	Attempts    int     `json:"attempts"`
-	SimSeconds  float64 `json:"sim_s,omitempty"`
-	WallSeconds float64 `json:"wall_s"`
-	Mapping     string  `json:"mapping,omitempty"`
-	// MappingFingerprint content-addresses the recovered mapping;
-	// MachineFingerprint is the store key for GET /mappings/{fp}.
-	MappingFingerprint string `json:"mapping_fingerprint,omitempty"`
-	MachineFingerprint string `json:"machine_fingerprint"`
-	Err                string `json:"err,omitempty"`
-}
-
-type classJSON struct {
-	Fingerprint string   `json:"fingerprint"`
-	Mapping     string   `json:"mapping"`
-	Jobs        []string `json:"jobs"`
-}
-
-type reportJSON struct {
-	Total       int            `json:"total"`
-	Succeeded   int            `json:"succeeded"`
-	Failed      int            `json:"failed"`
-	Matched     int            `json:"matched"`
-	Cached      int            `json:"cached"`
-	Resumed     int            `json:"resumed,omitempty"`
-	SuccessRate float64        `json:"success_rate"`
-	WallSeconds float64        `json:"wall_s"`
-	SimSeconds  campaign.Stats `json:"sim_s"`
-	Jobs        []jobJSON      `json:"jobs"`
-	Classes     []classJSON    `json:"equivalence_classes"`
-}
-
-func reportToJSON(rep *campaign.Report) *reportJSON {
-	out := &reportJSON{
-		Total: rep.Total, Succeeded: rep.Succeeded, Failed: rep.Failed,
-		Matched: rep.Matched, Cached: rep.Cached, Resumed: rep.Resumed,
-		SuccessRate: rep.SuccessRate, WallSeconds: rep.WallSeconds, SimSeconds: rep.Sim,
-	}
-	for _, jr := range rep.Jobs {
-		j := jobJSON{
-			Name: jr.Name, OK: jr.Err == nil, Match: jr.Match, Cached: jr.Cached,
-			Resumed: jr.Resumed, Attempts: jr.Attempts, WallSeconds: jr.WallSeconds,
-			MappingFingerprint: jr.Fingerprint,
-			MachineFingerprint: jr.MachineFingerprint,
-		}
-		if jr.Err != nil {
-			j.Err = jr.Err.Error()
-		}
-		if jr.Result != nil && jr.Result.Mapping != nil {
-			j.Mapping = jr.Result.Mapping.String()
-			j.SimSeconds = jr.Result.TotalSimSeconds
-		}
-		out.Jobs = append(out.Jobs, j)
-	}
-	for _, c := range rep.Classes {
-		out.Classes = append(out.Classes, classJSON{
-			Fingerprint: c.Fingerprint, Mapping: c.Mapping.String(), Jobs: c.Jobs,
-		})
-	}
-	return out
+// reportToJSON renders the campaign report's API shape; the shape and
+// conversion live in internal/cluster so a worker's completion report
+// is byte-compatible with a locally produced one.
+func reportToJSON(rep *campaign.Report) *cluster.ReportJSON {
+	return cluster.EncodeReport(rep)
 }
 
 func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
@@ -1509,6 +1366,9 @@ const (
 	codeDraining   = "draining"
 	codeConflict   = "conflict"
 	codeInternal   = "internal"
+	// codeLeaseLost tells a cluster worker its lease expired and was
+	// requeued or re-granted: stop the job and report nothing further.
+	codeLeaseLost = "lease_lost"
 )
 
 // errorEnvelope is the uniform v1 error shape.

@@ -1,0 +1,191 @@
+// The worker-side HTTP client for the coordinator's cluster API. Every
+// call decodes the daemon's uniform error envelope, and a 409 with code
+// "lease_lost" maps to ErrLeaseLost — the one error a worker handles
+// specially (abandon the job; someone else owns it now).
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dramdig/internal/obs"
+	"dramdig/internal/store"
+)
+
+// ErrLeaseLost means the coordinator no longer honors this worker's
+// lease: it expired and was requeued or re-granted elsewhere. The
+// worker must stop the job and not report its outcome.
+var ErrLeaseLost = errors.New("cluster: lease lost")
+
+// Client talks to one coordinator on behalf of one named worker.
+type Client struct {
+	base   string
+	worker string
+	hc     *http.Client
+}
+
+// NewClient builds a client. base is the coordinator's URL
+// ("http://host:8080"); hc nil gets a client with a sane timeout.
+func NewClient(base, worker string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, worker: worker, hc: hc}
+}
+
+// Worker returns the worker name this client leases as.
+func (c *Client) Worker() string { return c.worker }
+
+// do sends one JSON request and decodes the response into out (nil to
+// discard). Statuses outside okStatuses decode the error envelope;
+// lease_lost becomes ErrLeaseLost.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, okStatuses ...int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: encode %s: %w", path, err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	for _, ok := range okStatuses {
+		if resp.StatusCode == ok {
+			if out != nil && resp.StatusCode != http.StatusNoContent {
+				if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+					return resp.StatusCode, fmt.Errorf("cluster: decode %s response: %w", path, err)
+				}
+			}
+			return resp.StatusCode, nil
+		}
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env); err == nil && env.Error.Message != "" {
+		msg = env.Error.Message
+	}
+	if env.Error.Code == "lease_lost" {
+		return resp.StatusCode, fmt.Errorf("%w: %s", ErrLeaseLost, msg)
+	}
+	return resp.StatusCode, fmt.Errorf("cluster: %s %s: %s (%s)", method, path, msg, resp.Status)
+}
+
+// Lease asks for the next job. ok is false when nothing is pending
+// (204) or the coordinator is draining (503) — both mean "poll again
+// later", not an error.
+func (c *Client) Lease(ctx context.Context) (*LeaseGrant, bool, error) {
+	var grant LeaseGrant
+	code, err := c.do(ctx, http.MethodPost, "/v1/cluster/lease",
+		LeaseRequest{Worker: c.worker}, &grant,
+		http.StatusOK, http.StatusNoContent)
+	if err != nil {
+		if code == http.StatusServiceUnavailable {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if code == http.StatusNoContent {
+		return nil, false, nil
+	}
+	return &grant, true, nil
+}
+
+// Heartbeat renews the lease, shipping a checkpoint when cp is
+// non-empty, and returns the renewed TTL.
+func (c *Client) Heartbeat(ctx context.Context, id, token string, cp json.RawMessage) (time.Duration, error) {
+	var resp HeartbeatResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/cluster/jobs/"+id+"/heartbeat",
+		HeartbeatRequest{Worker: c.worker, Token: token, Checkpoint: cp}, &resp,
+		http.StatusOK)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.TTLMillis) * time.Millisecond, nil
+}
+
+// Complete reports a finished job: the campaign report plus the
+// worker's finished spans for the job's trace.
+func (c *Client) Complete(ctx context.Context, id, token string, report json.RawMessage, spans []obs.SpanData) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/cluster/jobs/"+id+"/complete",
+		CompleteRequest{Worker: c.worker, Token: token, Report: report, Spans: spans}, nil,
+		http.StatusOK)
+	return err
+}
+
+// Fail reports a failed job.
+func (c *Client) Fail(ctx context.Context, id, token, msg string) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/cluster/jobs/"+id+"/fail",
+		FailRequest{Worker: c.worker, Token: token, Error: msg}, nil,
+		http.StatusOK)
+	return err
+}
+
+// UploadResult puts one result record into the coordinator's
+// content-addressed store.
+func (c *Client) UploadResult(ctx context.Context, rec *store.Record) error {
+	_, err := c.do(ctx, http.MethodPut, "/v1/cluster/results/"+rec.Fingerprint, rec, nil,
+		http.StatusOK, http.StatusCreated)
+	return err
+}
+
+// UploadTrace puts one binary timing trace into the coordinator's
+// store, content-addressed by machine fingerprint.
+func (c *Client) UploadTrace(ctx context.Context, fp string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v1/cluster/traces/"+fp, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: upload trace %s: %w", fp, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("cluster: upload trace %s: %s", fp, resp.Status)
+	}
+	return nil
+}
+
+// FetchResult reads a cached result by machine fingerprint from the
+// coordinator — the worker-side read-through that makes the
+// coordinator's store the cluster's shared cache.
+func (c *Client) FetchResult(ctx context.Context, fp string) (*store.Record, bool, error) {
+	var rec store.Record
+	code, err := c.do(ctx, http.MethodGet, "/v1/mappings/"+fp, nil, &rec, http.StatusOK)
+	if err != nil {
+		if code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return &rec, true, nil
+}

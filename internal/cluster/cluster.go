@@ -1,0 +1,122 @@
+// Package cluster is the coordinator/worker subsystem that turns
+// dramdigd into a multi-node system: the coordinator (cmd/dramdigd
+// with -dispatch remote) exposes a lease API under /v1/cluster, and N
+// worker processes (cmd/dramdig-worker) pull queued campaign jobs over
+// HTTP, run them through the same campaign engine a local scheduler
+// would, stream checkpoints back on heartbeats, and upload results and
+// traces into the coordinator's content-addressed store.
+//
+// The protocol is four POSTs plus two PUTs:
+//
+//	POST /v1/cluster/lease                   lease the next pending job (204: nothing pending)
+//	POST /v1/cluster/jobs/{id}/heartbeat     extend the lease, optionally shipping a checkpoint
+//	POST /v1/cluster/jobs/{id}/complete      finish: report + the worker's finished spans
+//	POST /v1/cluster/jobs/{id}/fail          fail with a message
+//	PUT  /v1/cluster/results/{fingerprint}   upload one store record (content-addressed)
+//	PUT  /v1/cluster/traces/{fingerprint}    upload one binary timing trace
+//
+// Exactly-once flows from the queue's lease machinery: each grant
+// carries a fencing token, missed heartbeats expire the lease and
+// requeue the job (checkpoint intact), and a worker whose lease was
+// re-granted elsewhere gets 409 {"error":{"code":"lease_lost"}} and
+// abandons. Shard affinity — which worker a job *prefers* — is
+// consistent hashing of the job's machine fingerprint over the
+// registered workers (see Ring); it steers result/trace locality
+// without ever starving a worker.
+//
+// Trace context crosses the process boundary in both directions: the
+// lease grant carries the submitting request's W3C traceparent, the
+// worker parents its campaign spans under it, and the completion ships
+// the worker's finished spans back for the coordinator's tracer to
+// ingest — GET /v1/campaigns/{id}/spans then serves one tree spanning
+// both processes.
+package cluster
+
+import (
+	"encoding/json"
+
+	"dramdig/internal/obs"
+)
+
+// LeaseRequest is the POST /v1/cluster/lease body.
+type LeaseRequest struct {
+	// Worker is the worker's stable name — the lease owner, the shard
+	// ring member and the /v1/workers row key.
+	Worker string `json:"worker"`
+}
+
+// LeaseGrant is the coordinator's 200 response to a lease request: one
+// queued campaign job and everything needed to run it remotely.
+type LeaseGrant struct {
+	// ID is the campaign/job ID ("c7").
+	ID string `json:"id"`
+	// Payload is the queued campaign payload (cluster.Payload as JSON).
+	Payload json.RawMessage `json:"payload"`
+	// Checkpoint is the job's latest recorded progress, if any; a worker
+	// resumes from it instead of redoing finished jobs.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Attempts counts grants including this one (1 on the first run).
+	Attempts int `json:"attempts"`
+	Priority int `json:"priority,omitempty"`
+	// Token fences every subsequent call for this grant.
+	Token string `json:"token"`
+	// TTLMillis is the heartbeat deadline: miss it and the lease
+	// expires, requeueing the job.
+	TTLMillis int64 `json:"ttl_ms"`
+	// TraceParent is the submitting request's W3C trace context; the
+	// worker's campaign spans parent under it.
+	TraceParent string `json:"traceparent,omitempty"`
+	// RequestID is the submitting request's ID, for log correlation.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// HeartbeatRequest is the POST .../heartbeat body.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Token  string `json:"token"`
+	// Checkpoint is the newest campaign checkpoint since the last
+	// heartbeat, if any — the coordinator persists it in the queue WAL,
+	// so a lease expiry (or coordinator restart) resumes, not restarts.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat with the renewed TTL.
+type HeartbeatResponse struct {
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// CompleteRequest is the POST .../complete body.
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	Token  string `json:"token"`
+	// Report is the campaign's API report shape (cluster.ReportJSON),
+	// recorded as the queue job's terminal result.
+	Report json.RawMessage `json:"report,omitempty"`
+	// Spans are the worker's finished spans for this campaign's trace,
+	// ingested into the coordinator's tracer so the span tree crosses
+	// the process boundary.
+	Spans []obs.SpanData `json:"spans,omitempty"`
+}
+
+// FailRequest is the POST .../fail body.
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Token  string `json:"token"`
+	Error  string `json:"error"`
+}
+
+// WorkerStatus is one row of GET /v1/workers.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	// Live is false once the worker has been silent long enough to be
+	// reaped from the shard ring.
+	Live         bool  `json:"live"`
+	LastSeenUnix int64 `json:"last_seen_unix"`
+	// ActiveLeases counts jobs this worker currently holds.
+	ActiveLeases int    `json:"active_leases"`
+	Completed    uint64 `json:"completed"`
+	Failed       uint64 `json:"failed"`
+	// ShardShare is the fraction of the fingerprint keyspace this
+	// worker's ring segments own (0 when not on the ring).
+	ShardShare float64 `json:"shard_share"`
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// BuildSpecs must be a pure function of (request, seed): two
+// evaluations — coordinator and worker — must agree on count, order,
+// names, seeds and fingerprints.
+func TestBuildSpecsDeterministic(t *testing.T) {
+	req := CampaignRequest{Machines: []int{1, 4}, Generated: 2}
+	a, err := BuildSpecs(req, 7)
+	if err != nil {
+		t.Fatalf("BuildSpecs: %v", err)
+	}
+	b, err := BuildSpecs(req, 7)
+	if err != nil {
+		t.Fatalf("BuildSpecs: %v", err)
+	}
+	if len(a) != 4 || len(a) != len(b) {
+		t.Fatalf("spec counts: %d vs %d, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Seed != b[i].Seed {
+			t.Fatalf("spec %d differs: %q/%d vs %q/%d", i, a[i].Name, a[i].Seed, b[i].Name, b[i].Seed)
+		}
+		if a[i].MachineFingerprint() != b[i].MachineFingerprint() {
+			t.Fatalf("spec %d fingerprints differ", i)
+		}
+	}
+}
+
+func TestBuildSpecsRejects(t *testing.T) {
+	if _, err := BuildSpecs(CampaignRequest{}, 1); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if _, err := BuildSpecs(CampaignRequest{Generated: -3}, 1); err == nil {
+		t.Fatal("negative generated accepted")
+	}
+	if _, err := BuildSpecs(CampaignRequest{Generated: MaxCampaignJobs + 1}, 1); err == nil {
+		t.Fatal("oversized campaign accepted")
+	}
+	if _, err := BuildSpecs(CampaignRequest{Custom: []CustomSpec{{Standard: "DDR5"}}}, 1); err == nil {
+		t.Fatal("unknown standard accepted")
+	}
+}
+
+func TestShardKey(t *testing.T) {
+	payload, err := json.Marshal(Payload{Request: CampaignRequest{Machines: []int{3}}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ShardKey(payload, "fallback")
+	specs, err := BuildSpecs(CampaignRequest{Machines: []int{3}}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != specs[0].MachineFingerprint() {
+		t.Fatalf("shard key %q is not the first spec's fingerprint %q", key, specs[0].MachineFingerprint())
+	}
+	if got := ShardKey(json.RawMessage(`{not json`), "fb"); got != "fb" {
+		t.Fatalf("garbage payload shard key = %q, want fallback", got)
+	}
+	if got := ShardKey(json.RawMessage(`{"request":{},"seed":1}`), "fb2"); got != "fb2" {
+		t.Fatalf("unbuildable payload shard key = %q, want fallback", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Consistent hashing over registered workers: the shard function that
+// gives every machine fingerprint a preferred worker, so one machine's
+// result and trace traffic tends to flow through one node while worker
+// churn only remaps ~1/N of the keyspace.
+
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// defaultReplicas is the virtual-node count per worker — enough to
+// smooth shard shares across a handful of workers without making ring
+// updates expensive.
+const defaultReplicas = 64
+
+// Ring is a consistent-hash ring over worker names. Safe for
+// concurrent use. The zero value is not usable; call NewRing.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	// keys are the sorted virtual-node hashes; owner maps each to its
+	// worker name.
+	keys  []uint64
+	owner map[uint64]string
+	nodes map[string]bool
+}
+
+// NewRing builds a ring with the given virtual-node count per worker
+// (<= 0 selects the default).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		nodes:    make(map[string]bool),
+	}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add registers a worker; adding an existing worker is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		k := hashKey(node + "#" + strconv.Itoa(i))
+		if _, taken := r.owner[k]; taken {
+			// A virtual-node hash collision across workers: first owner
+			// keeps it. Vanishingly rare with 64-bit FNV; losing one
+			// virtual node only nudges the shard share.
+			continue
+		}
+		r.owner[k] = node
+		r.keys = append(r.keys, k)
+	}
+	sort.Slice(r.keys, func(i, j int) bool { return r.keys[i] < r.keys[j] })
+}
+
+// Remove deregisters a worker; its keyspace segments fall to the next
+// workers clockwise.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.keys[:0]
+	for _, k := range r.keys {
+		if r.owner[k] == node {
+			delete(r.owner, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	r.keys = kept
+}
+
+// Owner returns the worker owning key ("" on an empty ring): the first
+// virtual node clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.keys) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	if i == len(r.keys) {
+		i = 0 // wrap
+	}
+	return r.owner[r.keys[i]]
+}
+
+// Nodes returns the registered workers, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered workers.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Share returns the fraction of the keyspace node owns — computed
+// exactly from its segments' widths, so /v1/workers can show how even
+// the sharding actually is.
+func (r *Ring) Share(node string) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.nodes[node] || len(r.keys) == 0 {
+		return 0
+	}
+	if len(r.nodes) == 1 {
+		return 1
+	}
+	// Segment (keys[i-1], keys[i]] belongs to owner(keys[i]); the wrap
+	// segment (keys[last], keys[0]] closes the circle.
+	var total uint64
+	for i, k := range r.keys {
+		if r.owner[k] != node {
+			continue
+		}
+		var prev uint64
+		if i == 0 {
+			prev = r.keys[len(r.keys)-1]
+		} else {
+			prev = r.keys[i-1]
+		}
+		total += k - prev // unsigned wrap-around is exactly the segment width
+	}
+	return float64(total) / (1 << 63) / 2
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, n := range []string{"w1", "w2", "w3"} {
+		a.Add(n)
+		b.Add(n)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	a.Add("w2") // duplicate add is a no-op
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len after duplicate add = %d, want 3", got)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if got := r.Share("w1"); got != 0 {
+		t.Fatalf("empty ring share = %v, want 0", got)
+	}
+	r.Add("solo")
+	if got := r.Owner("anything"); got != "solo" {
+		t.Fatalf("single-node owner = %q, want solo", got)
+	}
+	if got := r.Share("solo"); got != 1 {
+		t.Fatalf("single-node share = %v, want 1", got)
+	}
+}
+
+// Removing one worker must only remap keys that worker owned: the
+// 1/N-churn property that makes the ring worth having.
+func TestRingRemoveStability(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"w1", "w2", "w3"} {
+		r.Add(n)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before[key] = r.Owner(key)
+	}
+	r.Remove("w2")
+	for key, owner := range before {
+		got := r.Owner(key)
+		if owner == "w2" {
+			if got == "w2" || got == "" {
+				t.Fatalf("key %q still owned by removed worker (got %q)", key, got)
+			}
+			continue
+		}
+		if got != owner {
+			t.Fatalf("key %q moved from %q to %q though its owner survived", key, owner, got)
+		}
+	}
+}
+
+func TestRingShareSumsToOne(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"alpha", "beta", "gamma", "delta"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	var sum float64
+	for _, n := range nodes {
+		s := r.Share(n)
+		if s <= 0 || s >= 1 {
+			t.Fatalf("share(%s) = %v, want in (0,1)", n, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	if got := r.Share("absent"); got != 0 {
+		t.Fatalf("share of unregistered node = %v, want 0", got)
+	}
+}

@@ -1,0 +1,361 @@
+// The worker process's engine: lease a job, rebuild its specs, run the
+// campaign through the same engine a local scheduler would, heartbeat
+// checkpoints back, and report the outcome. Results and traces go
+// through the coordinator's content-addressed store, so a campaign run
+// remotely leaves exactly the artifacts a local run would.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dramdig/internal/campaign"
+	"dramdig/internal/core"
+	"dramdig/internal/logging"
+	"dramdig/internal/obs"
+	"dramdig/internal/store"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL ("http://host:8080").
+	Coordinator string
+	// Name is the worker's stable name — the lease owner and shard ring
+	// member. Required.
+	Name string
+	// Workers caps concurrent campaign jobs (default GOMAXPROCS);
+	// Retries matches the daemon's retry semantics (negative disables).
+	Workers int
+	Retries int
+	// Poll is the idle poll interval when no job is pending (default
+	// 500ms).
+	Poll time.Duration
+	// Tracing uploads per-attempt timing traces to the coordinator.
+	Tracing bool
+	// Logger receives worker logs (nil discards); Tracer, when non-nil,
+	// records campaign spans and ships them with each completion.
+	Logger *slog.Logger
+	Tracer *obs.Tracer
+	// HTTPClient overrides the default client (tests).
+	HTTPClient *http.Client
+}
+
+// Worker leases jobs from one coordinator and runs them until its
+// context ends.
+type Worker struct {
+	cfg    WorkerConfig
+	client *Client
+	log    *slog.Logger
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = logging.Discard()
+	}
+	return &Worker{
+		cfg:    cfg,
+		client: NewClient(cfg.Coordinator, cfg.Name, cfg.HTTPClient),
+		log:    log.With("worker", cfg.Name),
+	}
+}
+
+// Stats reports lifetime completion counts (tests and shutdown logs).
+func (w *Worker) Stats() (completed, failed uint64) {
+	return w.completed.Load(), w.failed.Load()
+}
+
+// Run polls for leases and executes them until ctx ends. Always
+// returns ctx's error.
+func (w *Worker) Run(ctx context.Context) error {
+	w.log.Info("worker started", "coordinator", w.cfg.Coordinator)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, ok, err := w.client.Lease(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.log.Warn("lease request failed", "err", err)
+			}
+			w.sleep(ctx)
+			continue
+		}
+		if !ok {
+			w.sleep(ctx)
+			continue
+		}
+		w.runLease(ctx, grant)
+	}
+}
+
+func (w *Worker) sleep(ctx context.Context) {
+	t := time.NewTimer(w.cfg.Poll)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// fail reports a job failure, best-effort.
+func (w *Worker) fail(ctx context.Context, g *LeaseGrant, msg string) {
+	w.failed.Add(1)
+	if err := w.client.Fail(ctx, g.ID, g.Token, msg); err != nil {
+		w.log.Warn("fail report not delivered", "campaign", g.ID, "err", err)
+	}
+}
+
+// runLease executes one granted job end to end.
+func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
+	var p Payload
+	if err := json.Unmarshal(g.Payload, &p); err != nil {
+		w.fail(ctx, g, fmt.Sprintf("decode payload: %v", err))
+		return
+	}
+	specs, err := BuildSpecs(p.Request, p.Seed)
+	if err != nil {
+		w.fail(ctx, g, fmt.Sprintf("build specs: %v", err))
+		return
+	}
+	ttl := time.Duration(g.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+
+	// runCtx ends when the campaign should stop: worker shutdown, or
+	// the heartbeat loop learning the lease was lost.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Re-enter the submitting request's trace and request ID so the
+	// worker's spans and log lines join the coordinator's.
+	tctx := runCtx
+	if w.cfg.Tracer != nil {
+		tctx = obs.WithTracer(tctx, w.cfg.Tracer)
+		if sc, perr := obs.ParseTraceParent(g.TraceParent); perr == nil {
+			tctx = obs.WithSpanContext(tctx, sc)
+		}
+	}
+	if g.RequestID != "" {
+		tctx = logging.WithRequestID(tctx, g.RequestID)
+	}
+	tctx, sp := obs.Start(tctx, "worker.campaign",
+		obs.KV("worker", w.client.Worker()),
+		obs.KV("campaign", g.ID),
+		obs.Int("jobs", int64(len(specs))),
+		obs.Int("attempt", int64(g.Attempts)))
+	traceID := obs.SpanContextFrom(tctx).TraceID
+
+	var sink campaign.CheckpointSink
+	var lost atomic.Bool
+	hbDone := make(chan struct{})
+	go w.heartbeat(runCtx, g, ttl, &sink, &lost, cancel, hbDone)
+
+	cfg := campaign.Config{
+		Workers:      p.Request.Workers,
+		Retries:      w.cfg.Retries,
+		Seed:         p.Seed,
+		Wrap:         w.wrap,
+		Restore:      w.restore,
+		OnCheckpoint: sink.Put,
+	}
+	if cfg.Workers <= 0 || cfg.Workers > w.cfg.Workers {
+		cfg.Workers = w.cfg.Workers
+	}
+	if len(g.Checkpoint) > 0 {
+		var cp campaign.Checkpoint
+		if err := json.Unmarshal(g.Checkpoint, &cp); err == nil && cp.Seed == p.Seed {
+			cfg.Resume = &cp
+		}
+	}
+	if w.cfg.Tracing {
+		cfg.TraceSink = func(spec campaign.Spec, index, attempt int) (io.WriteCloser, error) {
+			return &traceUploader{ctx: tctx, client: w.client, fp: spec.MachineFingerprint()}, nil
+		}
+	}
+
+	w.log.Info("campaign leased", append([]any{"campaign", g.ID, "jobs", len(specs), "attempt", g.Attempts}, obs.LogAttrs(tctx)...)...)
+	rep, runErr := campaign.Run(tctx, specs, cfg)
+	cancel()
+	<-hbDone
+	sp.SetError(runErr)
+	sp.End()
+
+	switch {
+	case lost.Load():
+		// Someone else owns the job now; reporting anything would be
+		// rejected — and the work must not be double-counted.
+		w.log.Warn("lease lost; abandoning job", "campaign", g.ID)
+	case ctx.Err() != nil:
+		// Worker shutdown mid-campaign: leave the lease to expire so the
+		// coordinator requeues the job with its last checkpoint.
+		w.log.Info("shutdown mid-campaign; lease will expire", "campaign", g.ID)
+	case runErr != nil:
+		w.log.Warn("campaign failed", "campaign", g.ID, "err", runErr)
+		w.fail(ctx, g, runErr.Error())
+	default:
+		report, err := json.Marshal(EncodeReport(rep))
+		if err != nil {
+			w.fail(ctx, g, fmt.Sprintf("encode report: %v", err))
+			return
+		}
+		var spans []obs.SpanData
+		if w.cfg.Tracer != nil {
+			spans = w.cfg.Tracer.TraceSpans(traceID)
+		}
+		if err := w.client.Complete(ctx, g.ID, g.Token, report, spans); err != nil {
+			w.failed.Add(1)
+			w.log.Warn("completion not delivered", "campaign", g.ID, "err", err)
+			return
+		}
+		w.completed.Add(1)
+		w.log.Info("campaign completed", "campaign", g.ID, "succeeded", rep.Succeeded, "failed", rep.Failed)
+	}
+}
+
+// heartbeat renews the lease every ttl/3, shipping the newest
+// checkpoint when one arrived since the last beat. A lease_lost
+// rejection flips lost and cancels the campaign.
+func (w *Worker) heartbeat(ctx context.Context, g *LeaseGrant, ttl time.Duration, sink *campaign.CheckpointSink, lost *atomic.Bool, cancel context.CancelFunc, done chan struct{}) {
+	defer close(done)
+	interval := ttl / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	// pending holds a checkpoint taken from the sink but not yet
+	// delivered, so a failed beat retries it — unless a newer one
+	// supersedes it first.
+	var pending campaign.Checkpoint
+	havePending := false
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if snap, ok := sink.Take(); ok {
+			pending, havePending = snap, true
+		}
+		var cp json.RawMessage
+		if havePending {
+			if data, err := json.Marshal(pending); err == nil {
+				cp = data
+			}
+		}
+		if _, err := w.client.Heartbeat(ctx, g.ID, g.Token, cp); err != nil {
+			if errors.Is(err, ErrLeaseLost) {
+				lost.Store(true)
+				cancel()
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			w.log.Warn("heartbeat failed", "campaign", g.ID, "err", err)
+			continue
+		}
+		havePending = false
+	}
+}
+
+// wrap backs each job with the coordinator's store over HTTP: a
+// fingerprint hit skips the pipeline, and a fresh result uploads
+// before the job counts as done — completion never outruns results.
+func (w *Worker) wrap(ctx context.Context, spec campaign.Spec, run func() campaign.Outcome) campaign.Outcome {
+	fp := spec.MachineFingerprint()
+	if rec, ok, err := w.client.FetchResult(ctx, fp); err == nil && ok {
+		return campaign.Outcome{
+			Result: &core.Result{
+				Mapping:         rec.Mapping,
+				TotalSimSeconds: rec.SimSeconds,
+				Measurements:    rec.Measurements,
+			},
+			Match:  rec.Match,
+			Cached: true,
+		}
+	}
+	out := run()
+	if out.Err != nil {
+		return out
+	}
+	rec := &store.Record{
+		Fingerprint:        fp,
+		MachineName:        spec.Def.Name,
+		Mapping:            out.Result.Mapping,
+		MappingFingerprint: out.Result.Mapping.Fingerprint(),
+		Match:              out.Match,
+		SimSeconds:         out.Result.TotalSimSeconds,
+		Measurements:       out.Result.Measurements,
+	}
+	if err := w.client.UploadResult(ctx, rec); err != nil {
+		out = campaign.Outcome{Err: fmt.Errorf("upload result %s: %w", fp, err), Attempts: out.Attempts}
+	}
+	return out
+}
+
+// restore materializes a checkpointed job's outcome from the
+// coordinator's store — the cross-process mirror of the daemon's
+// restoreFromStore. A miss re-runs the job; the deterministic seeds
+// make the re-run equivalent.
+func (w *Worker) restore(ctx context.Context, spec campaign.Spec, jc campaign.JobCheckpoint) (campaign.Outcome, bool) {
+	fp := jc.MachineFingerprint
+	if fp == "" {
+		fp = spec.MachineFingerprint()
+	}
+	rec, ok, err := w.client.FetchResult(ctx, fp)
+	if err != nil || !ok {
+		return campaign.Outcome{}, false
+	}
+	return campaign.Outcome{
+		Result: &core.Result{
+			Mapping:         rec.Mapping,
+			TotalSimSeconds: rec.SimSeconds,
+			Measurements:    rec.Measurements,
+		},
+		Match:    rec.Match,
+		Attempts: jc.Attempts,
+	}, true
+}
+
+// traceUploader buffers one attempt's timing trace and uploads it on
+// Close — the remote counterpart of the daemon writing through
+// store.TraceWriter. Retried attempts overwrite, so the stored trace
+// is the last attempt's complete recording.
+type traceUploader struct {
+	ctx    context.Context
+	client *Client
+	fp     string
+	buf    bytes.Buffer
+}
+
+func (u *traceUploader) Write(p []byte) (int, error) { return u.buf.Write(p) }
+
+func (u *traceUploader) Close() error {
+	return u.client.UploadTrace(u.ctx, u.fp, u.buf.Bytes())
+}

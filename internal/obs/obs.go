@@ -73,6 +73,21 @@ func ParseTraceID(s string) (TraceID, error) {
 	return id, nil
 }
 
+// ParseSpanID parses 16 hex digits; the all-zero ID is invalid.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("obs: span ID %q is not 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(strings.ToLower(s))); err != nil {
+		return SpanID{}, fmt.Errorf("obs: span ID %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return SpanID{}, fmt.Errorf("obs: span ID is all zeros")
+	}
+	return id, nil
+}
+
 // SpanContext identifies one span within one trace — the part of a span
 // that crosses process and serialization boundaries.
 type SpanContext struct {
@@ -238,6 +253,53 @@ func (d SpanData) json() spanJSON {
 
 // MarshalJSON renders the span in the /v1/debug/spans wire shape.
 func (d SpanData) MarshalJSON() ([]byte, error) { return marshalJSON(d.json()) }
+
+// UnmarshalJSON parses the wire shape back into a SpanData — the
+// inverse of MarshalJSON, so finished spans can be shipped across a
+// process boundary (a worker's campaign spans riding its completion
+// report) and ingested into another tracer's ring.
+func (d *SpanData) UnmarshalJSON(b []byte) error {
+	var j spanJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	tid, err := ParseTraceID(j.TraceID)
+	if err != nil {
+		return err
+	}
+	sid, err := ParseSpanID(j.SpanID)
+	if err != nil {
+		return err
+	}
+	var parent SpanID
+	if j.ParentSpanID != "" {
+		if parent, err = ParseSpanID(j.ParentSpanID); err != nil {
+			return err
+		}
+	}
+	start := time.Unix(0, j.StartUnixNs)
+	*d = SpanData{
+		TraceID: tid,
+		SpanID:  sid,
+		Parent:  parent,
+		Name:    j.Name,
+		Start:   start,
+		End:     start.Add(time.Duration(j.DurationNs)),
+		Status:  j.Status,
+	}
+	if len(j.Attrs) > 0 {
+		keys := make([]string, 0, len(j.Attrs))
+		for k := range j.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		d.Attrs = make([]Attr, 0, len(keys))
+		for _, k := range keys {
+			d.Attrs = append(d.Attrs, Attr{Key: k, Value: j.Attrs[k]})
+		}
+	}
+	return nil
+}
 
 // Span is a live, mutable span. All methods are safe on a nil receiver
 // — obs.Start returns nil when no tracer is configured, and callers
@@ -515,6 +577,27 @@ func (t *Tracer) finish(data SpanData) {
 		t.dropped.Add(1)
 	}
 	t.byTrace[data.TraceID] = append(t.byTrace[data.TraceID], idx)
+}
+
+// Ingest lands already-finished spans — typically deserialized from a
+// remote process — in the ring, exactly as if they had finished here,
+// and returns how many it accepted. Spans without valid IDs are
+// skipped. The started counter deliberately does not move: these spans
+// were started elsewhere, and Stats should not suggest this tracer is
+// leaking unfinished spans.
+func (t *Tracer) Ingest(spans ...SpanData) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, sp := range spans {
+		if sp.TraceID.IsZero() || sp.SpanID.IsZero() {
+			continue
+		}
+		t.finish(sp)
+		n++
+	}
+	return n
 }
 
 // unindexLocked removes one ring slot from its trace's index, dropping

@@ -1,0 +1,410 @@
+package queue
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func submitN(t *testing.T, q *Queue, n int) []Job {
+	t.Helper()
+	out := make([]Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, dup, err := q.Submit(json.RawMessage(`{"n":`+string(rune('0'+i))+`}`), SubmitOptions{})
+		if err != nil || dup {
+			t.Fatalf("submit %d: dup=%v err=%v", i, dup, err)
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// TestLeaseBasic: two workers leasing concurrently-pending jobs get
+// distinct jobs — the same job is never double-leased — and completion
+// is fenced by the token.
+func TestLeaseBasic(t *testing.T) {
+	q, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	submitN(t, q, 2)
+
+	j1, ok, err := q.Lease("w1", time.Minute, nil)
+	if err != nil || !ok {
+		t.Fatalf("lease 1: ok=%v err=%v", ok, err)
+	}
+	j2, ok, err := q.Lease("w2", time.Minute, nil)
+	if err != nil || !ok {
+		t.Fatalf("lease 2: ok=%v err=%v", ok, err)
+	}
+	if j1.ID == j2.ID {
+		t.Fatalf("job %s leased twice", j1.ID)
+	}
+	if j1.LeaseToken == "" || j1.LeaseToken == j2.LeaseToken {
+		t.Fatalf("tokens not distinct: %q %q", j1.LeaseToken, j2.LeaseToken)
+	}
+	if j1.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", j1.Attempts)
+	}
+	if _, ok, _ := q.Lease("w3", time.Minute, nil); ok {
+		t.Fatal("third lease should find nothing pending")
+	}
+
+	// Wrong token is a stale lease; right token completes.
+	if err := q.CompleteLease(j1.ID, "w1", "bogus", nil); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("bogus token: err=%v, want ErrStaleLease", err)
+	}
+	if err := q.CompleteLease(j1.ID, "w1", j1.LeaseToken, json.RawMessage(`"r1"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get(j1.ID)
+	if got.State != StateDone || got.LeaseToken != "" {
+		t.Fatalf("after complete: state=%s token=%q", got.State, got.LeaseToken)
+	}
+	// Completing again is no longer a lease operation.
+	if err := q.CompleteLease(j1.ID, "w1", j1.LeaseToken, nil); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("double complete: err=%v, want ErrLeaseExpired", err)
+	}
+	if err := q.FailLease(j2.ID, "w2", j2.LeaseToken, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	st := q.StatsSnapshot()
+	if st.Done != 1 || st.Failed != 1 || st.Leased != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLeaseHeartbeatAfterExpiry: a heartbeat past the deadline is
+// rejected deterministically, even before the sweep requeues the job.
+func TestLeaseHeartbeatAfterExpiry(t *testing.T) {
+	q, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	submitN(t, q, 1)
+
+	j, ok, err := q.Lease("w1", 5*time.Millisecond, nil)
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	// A live heartbeat extends the deadline and can carry a checkpoint.
+	hb, err := q.Heartbeat(j.ID, "w1", j.LeaseToken, 5*time.Millisecond, json.RawMessage(`{"done":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.State != StateCheckpointed || string(hb.Checkpoint) != `{"done":1}` {
+		t.Fatalf("after heartbeat: state=%s cp=%s", hb.State, hb.Checkpoint)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := q.Heartbeat(j.ID, "w1", j.LeaseToken, time.Minute, nil); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("late heartbeat: err=%v, want ErrLeaseExpired", err)
+	}
+
+	lapsed, err := q.ExpireLeases(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lapsed) != 1 || lapsed[0].ID != j.ID || lapsed[0].LeaseOwner != "w1" {
+		t.Fatalf("lapsed = %+v", lapsed)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StateSubmitted || got.LeaseToken != "" {
+		t.Fatalf("after expiry: state=%s token=%q", got.State, got.LeaseToken)
+	}
+	if string(got.Checkpoint) != `{"done":1}` {
+		t.Fatalf("checkpoint lost on expiry: %s", got.Checkpoint)
+	}
+	if st := q.StatsSnapshot(); st.Expired != 1 || st.Pending != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLeaseStaleComplete: the fencing scenario — worker 1's lease
+// expires, the job is requeued and re-leased to worker 2; worker 1's
+// late completion must be rejected and worker 2's must land, exactly
+// once, with checkpoint and attempt count carried over.
+func TestLeaseStaleComplete(t *testing.T) {
+	q, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	submitN(t, q, 1)
+
+	j1, ok, err := q.Lease("w1", time.Millisecond, nil)
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if _, err := q.Heartbeat(j1.ID, "w1", j1.LeaseToken, time.Millisecond, json.RawMessage(`{"done":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := q.ExpireLeases(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, ok, err := q.Lease("w2", time.Minute, nil)
+	if err != nil || !ok {
+		t.Fatalf("re-lease: ok=%v err=%v", ok, err)
+	}
+	if j2.ID != j1.ID {
+		t.Fatalf("re-lease got %s, want %s", j2.ID, j1.ID)
+	}
+	if string(j2.Checkpoint) != `{"done":2}` {
+		t.Fatalf("checkpoint not carried: %s", j2.Checkpoint)
+	}
+	if j2.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", j2.Attempts)
+	}
+
+	// Worker 1 wakes up and tries to finish with its dead token.
+	if err := q.CompleteLease(j1.ID, "w1", j1.LeaseToken, json.RawMessage(`"stale"`)); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("stale complete: err=%v, want ErrStaleLease", err)
+	}
+	if _, err := q.Heartbeat(j1.ID, "w1", j1.LeaseToken, time.Minute, nil); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("stale heartbeat: err=%v, want ErrStaleLease", err)
+	}
+	// The stale attempt corrupted nothing: w2 still owns the job.
+	got, _ := q.Get(j1.ID)
+	if got.LeaseOwner != "w2" || !got.State.InFlight() {
+		t.Fatalf("after stale attempts: owner=%q state=%s", got.LeaseOwner, got.State)
+	}
+
+	if err := q.CompleteLease(j2.ID, "w2", j2.LeaseToken, json.RawMessage(`"real"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = q.Get(j2.ID)
+	if got.State != StateDone || string(got.Result) != `"real"` {
+		t.Fatalf("final: state=%s result=%s", got.State, got.Result)
+	}
+	if st := q.StatsSnapshot(); st.Done != 1 || st.Running != 0 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLeasePrefer: the shard-affinity hook — a preferred job wins over
+// an older, otherwise-better one, and with no preferred job pending the
+// worker still gets work.
+func TestLeasePrefer(t *testing.T) {
+	q, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	jobs := submitN(t, q, 3)
+
+	want := jobs[2].ID
+	j, ok, err := q.Lease("w1", time.Minute, func(j Job) bool { return j.ID == want })
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if j.ID != want {
+		t.Fatalf("preferred lease got %s, want %s", j.ID, want)
+	}
+	// No pending job satisfies the preference: fall back to FIFO.
+	j, ok, err = q.Lease("w1", time.Minute, func(Job) bool { return false })
+	if err != nil || !ok {
+		t.Fatalf("fallback lease: ok=%v err=%v", ok, err)
+	}
+	if j.ID != jobs[0].ID {
+		t.Fatalf("fallback lease got %s, want %s", j.ID, jobs[0].ID)
+	}
+}
+
+// TestLeaseSurvivesWALReplay: lease state round-trips through the WAL —
+// a reopened queue requeues leased jobs like any other in-flight work,
+// clearing the lease so the dead grant cannot be acted on.
+func TestLeaseSurvivesWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, q, 1)
+	j, ok, err := q.Lease("w1", time.Minute, nil)
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if _, err := q.Heartbeat(j.ID, "w1", j.LeaseToken, time.Minute, json.RawMessage(`{"done":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close: recovery must replay the WAL records.
+	q.wal.Close()
+
+	q2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	got, okGet := q2.Get(j.ID)
+	if !okGet {
+		t.Fatalf("job %s lost across restart", j.ID)
+	}
+	if got.State != StateSubmitted || !got.Recovered {
+		t.Fatalf("recovered job: state=%s recovered=%v", got.State, got.Recovered)
+	}
+	if got.LeaseOwner != "" || got.LeaseToken != "" || got.LeaseExpiresUnixNano != 0 {
+		t.Fatalf("lease survived restart: %+v", got)
+	}
+	if string(got.Checkpoint) != `{"done":3}` {
+		t.Fatalf("checkpoint lost: %s", got.Checkpoint)
+	}
+	// The old token is dead on the new process.
+	if _, err := q2.Heartbeat(j.ID, "w1", j.LeaseToken, time.Minute, nil); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("heartbeat across restart: err=%v, want ErrLeaseExpired", err)
+	}
+}
+
+// TestOldJournalReplays: a WAL written before the lease fields existed
+// replays unchanged — the new code must not choke on their absence.
+func TestOldJournalReplays(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, q, 2)
+	if _, ok, err := q.Dequeue(); err != nil || !ok {
+		t.Fatalf("dequeue: ok=%v err=%v", ok, err)
+	}
+	q.wal.Close()
+
+	q2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if st := q2.StatsSnapshot(); st.Pending != 2 || st.Recovered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestGroupCommitConcurrentSubmit hammers a durable queue from many
+// goroutines: every submission must be acknowledged, visible, and
+// durable across a reopen — the group commit must lose nothing.
+func TestGroupCommitConcurrentSubmit(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Config{Dir: dir, Capacity: 1 << 20, CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, per = 8, 25
+	var wg sync.WaitGroup
+	ids := make([][]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j, dup, err := q.Submit(json.RawMessage(`{}`), SubmitOptions{})
+				if err != nil || dup {
+					t.Errorf("g%d submit %d: dup=%v err=%v", g, i, dup, err)
+					return
+				}
+				ids[g] = append(ids[g], j.ID)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every acknowledged job is pending and dequeueable right now.
+	if st := q.StatsSnapshot(); st.Pending != goroutines*per {
+		t.Fatalf("pending = %d, want %d", st.Pending, goroutines*per)
+	}
+	// Simulate a crash: no Close, no compaction — only the WAL.
+	q.wal.Close()
+
+	q2, err := Open(Config{Dir: dir, Capacity: 1 << 20, CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	for g, list := range ids {
+		if len(list) != per {
+			t.Fatalf("g%d acknowledged %d submits, want %d", g, len(list), per)
+		}
+		for _, id := range list {
+			j, ok := q2.Get(id)
+			if !ok {
+				t.Fatalf("job %s acknowledged but lost across restart", id)
+			}
+			if j.State != StateSubmitted {
+				t.Fatalf("job %s state = %s", id, j.State)
+			}
+		}
+	}
+}
+
+// TestGroupCommitMixedOps: concurrent submit + lease + complete traffic
+// on a durable queue stays consistent — the watermark never marks an
+// unsynced record durable and no job is lost or run twice.
+func TestGroupCommitMixedOps(t *testing.T) {
+	q, err := Open(Config{Dir: t.TempDir(), Capacity: 1 << 20, CompactEvery: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	const jobs = 40
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < jobs; i++ {
+			if _, _, err := q.Submit(json.RawMessage(`{}`), SubmitOptions{}); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+	}()
+	var completed sync.Map
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := "w" + strings.Repeat("x", w+1)
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				j, ok, err := q.Lease(worker, time.Minute, nil)
+				if err != nil {
+					t.Errorf("lease: %v", err)
+					return
+				}
+				if !ok {
+					done := 0
+					completed.Range(func(any, any) bool { done++; return true })
+					if done >= jobs {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if _, loaded := completed.LoadOrStore(j.ID, worker); loaded {
+					t.Errorf("job %s ran twice", j.ID)
+					return
+				}
+				if err := q.CompleteLease(j.ID, worker, j.LeaseToken, nil); err != nil {
+					t.Errorf("complete %s: %v", j.ID, err)
+					return
+				}
+			}
+			t.Error("workers timed out before draining the queue")
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if st := q.StatsSnapshot(); st.Done != jobs || st.Pending != 0 || st.Running != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -9,12 +9,28 @@
 // them.
 //
 // Durability follows the internal/store disk idiom: the WAL is an
-// append-only file of JSON lines, fsync'd per record; periodically (and
-// on every Open and Close) the whole queue state is compacted into a
-// snapshot written atomically (temp file + fsync + rename) and the WAL
-// is truncated. Recovery loads the snapshot, replays WAL records with
-// newer sequence numbers, and tolerates a torn final line — the one
-// write a crash can actually tear.
+// append-only file of JSON lines, fsync'd before a mutation is
+// acknowledged; periodically (and on every Open and Close) the whole
+// queue state is compacted into a snapshot written atomically (temp
+// file + fsync + rename) and the WAL is truncated. Recovery loads the
+// snapshot, replays WAL records with newer sequence numbers, and
+// tolerates a torn final line — the one write a crash can actually
+// tear. Concurrent mutations group-commit: records are written under
+// the state lock but fsync'd outside it by a leader — whoever reaches
+// the sync lock first flushes everything written so far, and the rest
+// find their record already durable, so N concurrent submissions cost
+// one fsync, not N.
+//
+// Jobs can also be *leased* to remote workers (the cluster subsystem):
+// Lease is Dequeue plus an owner, a fencing token and a deadline, all
+// in the WAL. Heartbeat extends the deadline (optionally carrying a
+// checkpoint), CompleteLease/FailLease terminate — every lease
+// mutation is fenced by the token, so a worker whose lease expired and
+// was re-granted elsewhere is rejected without corrupting state.
+// ExpireLeases requeues jobs whose deadline passed, with checkpoint
+// and attempt count intact — the same requeue semantics crash
+// recovery applies, so a dead worker costs one lease TTL, not a
+// campaign.
 //
 // Backpressure and dedup are first-class: Submit refuses work past the
 // configured pending capacity with ErrFull (the daemon turns that into
@@ -30,6 +46,8 @@ package queue
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +56,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dramdig/internal/metrics"
@@ -106,6 +125,18 @@ type Job struct {
 	// originating HTTP request. The queue never interprets them.
 	TraceParent string `json:"trace_parent,omitempty"`
 	RequestID   string `json:"request_id,omitempty"`
+	// LeaseOwner, LeaseToken and LeaseExpiresUnixNano describe an active
+	// lease (see Lease): who holds the job, the fencing token that gates
+	// every lease mutation, and the heartbeat deadline. All empty for
+	// locally dequeued jobs; old journals without them replay fine.
+	LeaseOwner           string `json:"lease_owner,omitempty"`
+	LeaseToken           string `json:"lease_token,omitempty"`
+	LeaseExpiresUnixNano int64  `json:"lease_expires_unix_nano,omitempty"`
+
+	// syncPending marks a job whose submit record is written but not yet
+	// fsync'd; such jobs are invisible to Dequeue and Lease until the
+	// group commit lands. Unexported: never serialized.
+	syncPending bool
 }
 
 func (j *Job) clone() Job {
@@ -120,6 +151,12 @@ var (
 	ErrFull     = errors.New("queue: full")
 	ErrNotFound = errors.New("queue: no such job")
 	ErrBadState = errors.New("queue: bad state for transition")
+	// ErrLeaseExpired means the job has no active lease (it expired and
+	// was requeued, or the heartbeat deadline has passed).
+	ErrLeaseExpired = errors.New("queue: lease expired")
+	// ErrStaleLease means the presented owner/token does not match the
+	// job's current lease — it was expired and re-leased elsewhere.
+	ErrStaleLease = errors.New("queue: stale lease token")
 )
 
 // Config tunes a queue. The zero value is a usable memory-only queue.
@@ -178,6 +215,9 @@ type Stats struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	// Leased counts in-flight jobs held under an active lease (a subset
+	// of Running).
+	Leased int `json:"leased"`
 	// Recovered counts non-terminal jobs that survived a process death.
 	Recovered int `json:"recovered"`
 	// Submitted counts accepted Submit calls; Deduped the submissions
@@ -188,6 +228,9 @@ type Stats struct {
 	// a process death; Compactions counts snapshot compactions.
 	Requeued    uint64 `json:"requeued"`
 	Compactions uint64 `json:"compactions"`
+	// Expired counts leases the expiry sweep requeued after missed
+	// heartbeats.
+	Expired uint64 `json:"expired"`
 }
 
 // Queue is safe for concurrent use.
@@ -203,11 +246,23 @@ type Queue struct {
 	walLen  int      // records since last compaction
 	closed  bool
 
+	// Group-commit state. Records are written to the WAL under q.mu but
+	// fsync'd under walMu, usually after q.mu is released (lock order is
+	// q.mu → walMu; walMu is never held while taking q.mu): syncTo skips
+	// the fsync entirely when a concurrent leader already pushed the
+	// durable watermark (syncedSeq) past the caller's record. writtenSeq
+	// is the highest sequence number written to the file, stored under
+	// q.mu and read under walMu, hence atomic.
+	walMu      sync.Mutex
+	syncedSeq  uint64 // highest fsync-covered seq; guarded by walMu
+	writtenSeq atomic.Uint64
+
 	// Cumulative counters surfaced through Stats.
 	submitted   uint64
 	deduped     uint64
 	requeued    uint64
 	compactions uint64
+	expired     uint64
 	// WAL latency histograms (nil until RegisterMetrics; Observe on a
 	// nil histogram is a no-op).
 	walAppend *metrics.Histogram
@@ -221,17 +276,24 @@ const (
 	snapshotName = "snapshot.json"
 )
 
-// walRecord is one WAL line. Submit records carry the whole job; state
-// and checkpoint records patch an existing one.
+// walRecord is one WAL line. Submit records carry the whole job; state,
+// checkpoint and lease records patch an existing one. The lease fields
+// (Owner/Token/LeaseExpires) are optional — journals written before
+// leases existed replay unchanged.
 type walRecord struct {
 	Seq        uint64          `json:"seq"`
-	Op         string          `json:"op"` // "submit", "state", "checkpoint"
+	Op         string          `json:"op"` // "submit", "state", "checkpoint", "lease", "renew", "expire"
 	Job        *Job            `json:"job,omitempty"`
 	ID         string          `json:"id,omitempty"`
 	State      State           `json:"state,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Lease patch: who holds the job, the fencing token and the
+	// heartbeat deadline (UnixNano).
+	Owner        string `json:"owner,omitempty"`
+	Token        string `json:"token,omitempty"`
+	LeaseExpires int64  `json:"lease_expires,omitempty"`
 }
 
 // snapshot is the compacted on-disk state: everything the WAL said, as
@@ -267,10 +329,14 @@ func Open(cfg Config) (*Queue, error) {
 	}
 	// Re-queue interrupted work: anything in flight when the previous
 	// process died is pending again, checkpoint and attempt count kept.
+	// Leases die with the process that granted them — the token is gone,
+	// so a worker still heartbeating an old lease gets ErrLeaseExpired
+	// and abandons; the requeued job runs exactly once.
 	for _, j := range q.jobs {
 		if j.State.InFlight() {
 			j.State = StateSubmitted
 			j.Recovered = true
+			j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = "", "", 0
 			q.requeued++
 		}
 	}
@@ -431,6 +497,7 @@ func (q *Queue) applyLocked(rec walRecord) error {
 			j.Checkpoint = nil
 		}
 		if rec.State.Terminal() {
+			j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = "", "", 0
 			q.evictTerminalLocked()
 		}
 	case "checkpoint":
@@ -440,6 +507,37 @@ func (q *Queue) applyLocked(rec walRecord) error {
 		}
 		j.State = StateCheckpointed
 		j.Checkpoint = rec.Checkpoint
+	case "lease":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("lease record %d for unknown job %s", rec.Seq, rec.ID)
+		}
+		if j.State == StateSubmitted {
+			q.pending--
+		}
+		j.State = StateRunning
+		j.Attempts++
+		j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = rec.Owner, rec.Token, rec.LeaseExpires
+	case "renew":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("renew record %d for unknown job %s", rec.Seq, rec.ID)
+		}
+		j.LeaseExpiresUnixNano = rec.LeaseExpires
+		if len(rec.Checkpoint) > 0 {
+			j.State = StateCheckpointed
+			j.Checkpoint = rec.Checkpoint
+		}
+	case "expire":
+		j, ok := q.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("expire record %d for unknown job %s", rec.Seq, rec.ID)
+		}
+		if j.State.InFlight() {
+			j.State = StateSubmitted
+			q.pending++
+		}
+		j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = "", "", 0
 	default:
 		return fmt.Errorf("record %d has unknown op %q", rec.Seq, rec.Op)
 	}
@@ -458,9 +556,11 @@ func parseID(id, prefix string) uint64 {
 	return n
 }
 
-// append writes one record to the WAL (fsync'd) and compacts when due.
-// Callers hold q.mu and have already applied the record.
-func (q *Queue) append(rec walRecord) error {
+// appendLocked writes one record to the WAL (no fsync — that is
+// syncTo's job, taken outside q.mu so concurrent mutations share one
+// flush) and compacts when due. Callers hold q.mu and have already
+// applied the record.
+func (q *Queue) appendLocked(rec walRecord) error {
 	if q.wal == nil {
 		return nil
 	}
@@ -473,15 +573,37 @@ func (q *Queue) append(rec walRecord) error {
 	if _, err := q.wal.Write(data); err != nil {
 		return fmt.Errorf("queue: %w", err)
 	}
-	fsyncStart := time.Now()
-	if err := q.wal.Sync(); err != nil {
-		return fmt.Errorf("queue: %w", err)
-	}
-	q.walFsync.Observe(time.Since(fsyncStart).Seconds())
+	q.writtenSeq.Store(rec.Seq)
 	q.walAppend.Observe(time.Since(start).Seconds())
 	q.walLen++
 	if q.walLen >= q.cfg.CompactEvery {
 		return q.compactAndResetLocked()
+	}
+	return nil
+}
+
+// syncTo makes every record up to seq durable. Called after q.mu is
+// released: the first caller in (the leader) fsyncs everything written
+// so far and advances the watermark past every concurrent writer's
+// record — they arrive, see syncedSeq ≥ their seq, and return without
+// touching the disk. That is the group commit: N concurrent mutations,
+// one fsync.
+func (q *Queue) syncTo(seq uint64) error {
+	q.walMu.Lock()
+	defer q.walMu.Unlock()
+	if q.wal == nil || seq <= q.syncedSeq {
+		return nil
+	}
+	// Snapshot before the fsync: records written after this point may
+	// only partially hit the disk, and must not be marked durable.
+	covered := q.writtenSeq.Load()
+	start := time.Now()
+	if err := q.wal.Sync(); err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	q.walFsync.Observe(time.Since(start).Seconds())
+	if covered > q.syncedSeq {
+		q.syncedSeq = covered
 	}
 	return nil
 }
@@ -536,6 +658,13 @@ func (q *Queue) compactLocked() error {
 	}
 	q.walLen = 0
 	q.compactions++
+	// Every record ≤ q.seq is now durable via the snapshot; advance the
+	// group-commit watermark so pending syncTo calls skip the fsync.
+	q.walMu.Lock()
+	if q.seq > q.syncedSeq {
+		q.syncedSeq = q.seq
+	}
+	q.walMu.Unlock()
 	return nil
 }
 
@@ -560,10 +689,14 @@ func (q *Queue) Close() error {
 	var err error
 	if q.wal != nil {
 		err = q.compactLocked()
+		// Close and nil the handle under walMu so a straggling syncTo
+		// never fsyncs a closed file.
+		q.walMu.Lock()
 		if cerr := q.wal.Close(); err == nil {
 			err = cerr
 		}
 		q.wal = nil
+		q.walMu.Unlock()
 	}
 	return err
 }
@@ -573,22 +706,31 @@ var errClosed = errors.New("queue: closed")
 // Submit enqueues a job. The returned bool is true when an idempotency
 // key matched a retained job and that job is returned instead of a new
 // one. ErrFull reports a pending backlog at capacity.
+//
+// In durable mode the record is written under the state lock but
+// fsync'd outside it, so concurrent submissions group-commit into one
+// flush. Until its fsync lands a job is invisible to Dequeue and
+// Lease — Submit never acknowledges (and never hands out) work the
+// disk might not know about.
 func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return Job{}, false, errClosed
 	}
 	if opts.IdempotencyKey != "" {
 		if id, ok := q.byKey[opts.IdempotencyKey]; ok {
 			if j, ok := q.jobs[id]; ok {
 				q.deduped++
-				return j.clone(), true, nil
+				c := j.clone()
+				q.mu.Unlock()
+				return c, true, nil
 			}
 			delete(q.byKey, opts.IdempotencyKey) // job evicted; key expired
 		}
 	}
 	if q.pending >= q.cfg.Capacity {
+		q.mu.Unlock()
 		return Job{}, false, ErrFull
 	}
 	q.nextID++
@@ -605,71 +747,120 @@ func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, 
 		SubmittedUnixNano: now.UnixNano(),
 		TraceParent:       opts.TraceParent,
 		RequestID:         opts.RequestID,
+		syncPending:       q.wal != nil,
 	}
 	rec := walRecord{Seq: q.seq, Op: "submit", Job: &j}
 	if err := q.applyLocked(rec); err != nil {
+		q.mu.Unlock()
 		return Job{}, false, err
 	}
-	if err := q.append(rec); err != nil {
+	if err := q.appendLocked(rec); err != nil {
 		// The WAL is the source of truth; an unpersistable submit must
 		// not be admitted.
-		delete(q.jobs, j.ID)
-		q.pending--
-		if j.IdempotencyKey != "" {
-			delete(q.byKey, j.IdempotencyKey)
-		}
+		q.rollbackSubmitLocked(&j)
+		q.mu.Unlock()
 		return Job{}, false, err
 	}
 	q.submitted++
+	q.mu.Unlock()
+
+	if err := q.syncTo(j.Seq); err != nil {
+		// Safe to retract: an unsynced job was never visible to Dequeue
+		// or Lease, so nothing raced us to it.
+		q.mu.Lock()
+		q.rollbackSubmitLocked(&j)
+		q.submitted--
+		q.mu.Unlock()
+		return Job{}, false, err
+	}
+	q.mu.Lock()
+	if kept, ok := q.jobs[j.ID]; ok {
+		kept.syncPending = false
+	}
+	q.mu.Unlock()
+	j.syncPending = false
 	q.wake()
 	return j, false, nil
+}
+
+// rollbackSubmitLocked retracts a submit whose WAL record could not be
+// made durable.
+func (q *Queue) rollbackSubmitLocked(j *Job) {
+	delete(q.jobs, j.ID)
+	q.pending--
+	if j.IdempotencyKey != "" {
+		delete(q.byKey, j.IdempotencyKey)
+	}
+}
+
+// better reports whether candidate j should be picked over cur
+// (highest priority first, FIFO within a priority). Jobs whose submit
+// fsync has not landed yet are never eligible.
+func better(j, cur *Job) bool {
+	if j.State != StateSubmitted || j.syncPending {
+		return false
+	}
+	return cur == nil || j.Priority > cur.Priority ||
+		(j.Priority == cur.Priority && j.Seq < cur.Seq)
 }
 
 // Dequeue pops the best pending job (highest priority, then FIFO) and
 // marks it running. The second return is false when nothing is pending.
 func (q *Queue) Dequeue() (Job, bool, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return Job{}, false, errClosed
 	}
 	var best *Job
 	for _, j := range q.jobs {
-		if j.State != StateSubmitted {
-			continue
-		}
-		if best == nil || j.Priority > best.Priority ||
-			(j.Priority == best.Priority && j.Seq < best.Seq) {
+		if better(j, best) {
 			best = j
 		}
 	}
 	if best == nil {
+		q.mu.Unlock()
 		return Job{}, false, nil
 	}
 	if err := q.transitionLocked(best.ID, walRecord{Op: "state", State: StateRunning}); err != nil {
+		q.mu.Unlock()
 		return Job{}, false, err
 	}
-	return best.clone(), true, nil
+	out := best.clone()
+	seq := q.seq
+	q.mu.Unlock()
+	if err := q.syncTo(seq); err != nil {
+		return Job{}, false, err
+	}
+	return out, true, nil
 }
 
 // Checkpoint records partial progress for an in-flight job; recovery
 // hands the checkpoint back with the re-queued job.
 func (q *Queue) Checkpoint(id string, cp json.RawMessage) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return errClosed
 	}
 	j, ok := q.jobs[id]
 	if !ok {
+		q.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if !j.State.InFlight() {
+		q.mu.Unlock()
 		return fmt.Errorf("%w: checkpoint of %s job %s", ErrBadState, j.State, id)
 	}
-	return q.transitionLocked(id, walRecord{
+	err := q.transitionLocked(id, walRecord{
 		Op: "checkpoint", Checkpoint: append(json.RawMessage(nil), cp...),
 	})
+	seq := q.seq
+	q.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return q.syncTo(seq)
 }
 
 // Finish moves an in-flight job to done, recording its result.
@@ -690,18 +881,26 @@ func (q *Queue) Cancelled(id, msg string) error {
 
 func (q *Queue) terminal(id string, st State, result json.RawMessage, msg string) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return errClosed
 	}
 	j, ok := q.jobs[id]
 	if !ok {
+		q.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if !j.State.InFlight() {
+		q.mu.Unlock()
 		return fmt.Errorf("%w: %s of %s job %s", ErrBadState, st, j.State, id)
 	}
-	return q.transitionLocked(id, walRecord{Op: "state", State: st, Result: result, Error: msg})
+	err := q.transitionLocked(id, walRecord{Op: "state", State: st, Result: result, Error: msg})
+	seq := q.seq
+	q.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return q.syncTo(seq)
 }
 
 // Cancel removes a still-pending job from the queue. Running jobs must
@@ -709,34 +908,253 @@ func (q *Queue) terminal(id string, st State, result json.RawMessage, msg string
 // jobs cannot change.
 func (q *Queue) Cancel(id, msg string) (Job, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return Job{}, errClosed
 	}
 	j, ok := q.jobs[id]
 	if !ok {
+		q.mu.Unlock()
 		return Job{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if j.State != StateSubmitted {
+		q.mu.Unlock()
 		return Job{}, fmt.Errorf("%w: cancel of %s job %s", ErrBadState, j.State, id)
 	}
 	if err := q.transitionLocked(id, walRecord{Op: "state", State: StateCancelled, Error: msg}); err != nil {
+		q.mu.Unlock()
 		return Job{}, err
 	}
+	out := *j
 	if kept, ok := q.jobs[id]; ok {
-		return kept.clone(), nil
+		out = kept.clone()
 	}
-	return *j, nil
+	seq := q.seq
+	q.mu.Unlock()
+	if err := q.syncTo(seq); err != nil {
+		return Job{}, err
+	}
+	return out, nil
 }
 
-// transitionLocked stamps, applies and persists one mutation record.
+// defaultLeaseTTL applies when a lease or heartbeat passes ttl <= 0.
+const defaultLeaseTTL = 30 * time.Second
+
+// newLeaseToken mints a fencing token: 8 random bytes, hex.
+func newLeaseToken() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means a broken platform; a time-derived
+		// token keeps the queue usable and is still unguessable enough
+		// to fence honest-but-delayed workers, which is all it gates.
+		return strconv.FormatUint(uint64(time.Now().UnixNano()), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Lease hands the best pending job to owner for ttl: Dequeue plus an
+// owner, a fencing token and a heartbeat deadline, all persisted. When
+// prefer is non-nil, the best job it approves of (shard affinity, say)
+// wins over the best overall — but a worker is never starved: with no
+// preferred job pending it gets the best one anyway. The second return
+// is false when nothing is pending.
+//
+// The returned job's LeaseToken must accompany every Heartbeat,
+// CompleteLease and FailLease for this grant; after the deadline passes
+// and ExpireLeases requeues the job, the token is dead and those calls
+// report ErrLeaseExpired or ErrStaleLease.
+func (q *Queue) Lease(owner string, ttl time.Duration, prefer func(Job) bool) (Job, bool, error) {
+	if ttl <= 0 {
+		ttl = defaultLeaseTTL
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, false, errClosed
+	}
+	var best, preferred *Job
+	for _, j := range q.jobs {
+		if !better(j, best) {
+			continue
+		}
+		best = j
+	}
+	if prefer != nil {
+		for _, j := range q.jobs {
+			if j.State != StateSubmitted || j.syncPending || !prefer(j.clone()) {
+				continue
+			}
+			if preferred == nil || better(j, preferred) {
+				preferred = j
+			}
+		}
+	}
+	pick := best
+	if preferred != nil {
+		pick = preferred
+	}
+	if pick == nil {
+		q.mu.Unlock()
+		return Job{}, false, nil
+	}
+	rec := walRecord{
+		Op:           "lease",
+		State:        StateRunning,
+		Owner:        owner,
+		Token:        newLeaseToken(),
+		LeaseExpires: time.Now().Add(ttl).UnixNano(),
+	}
+	if err := q.transitionLocked(pick.ID, rec); err != nil {
+		q.mu.Unlock()
+		return Job{}, false, err
+	}
+	out := pick.clone()
+	seq := q.seq
+	q.mu.Unlock()
+	if err := q.syncTo(seq); err != nil {
+		return Job{}, false, err
+	}
+	return out, true, nil
+}
+
+// leasedLocked resolves a lease-fenced mutation's target: the job must
+// exist, hold an active lease, and that lease must match owner+token.
+func (q *Queue) leasedLocked(id, owner, token string) (*Job, error) {
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.State.InFlight() || j.LeaseToken == "" {
+		return nil, fmt.Errorf("%w: job %s has no active lease", ErrLeaseExpired, id)
+	}
+	if j.LeaseOwner != owner || j.LeaseToken != token {
+		return nil, fmt.Errorf("%w: job %s is leased elsewhere", ErrStaleLease, id)
+	}
+	return j, nil
+}
+
+// Heartbeat extends a lease by ttl, optionally recording a checkpoint
+// in the same WAL record. A heartbeat after the deadline is refused
+// with ErrLeaseExpired even before the expiry sweep has requeued the
+// job — late is late, deterministically.
+func (q *Queue) Heartbeat(id, owner, token string, ttl time.Duration, cp json.RawMessage) (Job, error) {
+	if ttl <= 0 {
+		ttl = defaultLeaseTTL
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, errClosed
+	}
+	j, err := q.leasedLocked(id, owner, token)
+	if err != nil {
+		q.mu.Unlock()
+		return Job{}, err
+	}
+	now := time.Now()
+	if j.LeaseExpiresUnixNano <= now.UnixNano() {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: job %s heartbeat after deadline", ErrLeaseExpired, id)
+	}
+	rec := walRecord{Op: "renew", LeaseExpires: now.Add(ttl).UnixNano()}
+	if len(cp) > 0 {
+		rec.Checkpoint = append(json.RawMessage(nil), cp...)
+	}
+	if err := q.transitionLocked(id, rec); err != nil {
+		q.mu.Unlock()
+		return Job{}, err
+	}
+	out := j.clone()
+	seq := q.seq
+	q.mu.Unlock()
+	if err := q.syncTo(seq); err != nil {
+		return Job{}, err
+	}
+	return out, nil
+}
+
+// CompleteLease moves a leased job to done, fenced by the token.
+func (q *Queue) CompleteLease(id, owner, token string, result json.RawMessage) error {
+	return q.finishLease(id, owner, token, StateDone, append(json.RawMessage(nil), result...), "")
+}
+
+// FailLease moves a leased job to failed, fenced by the token.
+func (q *Queue) FailLease(id, owner, token, msg string) error {
+	return q.finishLease(id, owner, token, StateFailed, nil, msg)
+}
+
+func (q *Queue) finishLease(id, owner, token string, st State, result json.RawMessage, msg string) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return errClosed
+	}
+	if _, err := q.leasedLocked(id, owner, token); err != nil {
+		q.mu.Unlock()
+		return err
+	}
+	// Deliberately no deadline check here: a completion racing its own
+	// expiry wins as long as it lands before the sweep requeues the job.
+	// The token is the fence; the deadline only arms the sweep.
+	err := q.transitionLocked(id, walRecord{Op: "state", State: st, Result: result, Error: msg})
+	seq := q.seq
+	q.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return q.syncTo(seq)
+}
+
+// ExpireLeases requeues every leased job whose deadline is at or before
+// now, checkpoint and attempt count intact — the owner is presumed
+// dead. The returned jobs are snapshots from before the requeue, so the
+// caller sees who held each lease and when it lapsed.
+func (q *Queue) ExpireLeases(now time.Time) ([]Job, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, errClosed
+	}
+	deadline := now.UnixNano()
+	var lapsed []Job
+	for _, j := range q.jobs {
+		if j.State.InFlight() && j.LeaseToken != "" && j.LeaseExpiresUnixNano <= deadline {
+			lapsed = append(lapsed, j.clone())
+		}
+	}
+	for i := 1; i < len(lapsed); i++ {
+		for k := i; k > 0 && lapsed[k].Seq < lapsed[k-1].Seq; k-- {
+			lapsed[k], lapsed[k-1] = lapsed[k-1], lapsed[k]
+		}
+	}
+	for _, j := range lapsed {
+		if err := q.transitionLocked(j.ID, walRecord{Op: "expire"}); err != nil {
+			q.mu.Unlock()
+			return lapsed, err
+		}
+		q.expired++
+	}
+	seq := q.seq
+	q.mu.Unlock()
+	if len(lapsed) == 0 {
+		return nil, nil
+	}
+	if err := q.syncTo(seq); err != nil {
+		return lapsed, err
+	}
+	q.wake()
+	return lapsed, nil
+}
+
+// transitionLocked stamps, applies and writes one mutation record. The
+// caller makes it durable with syncTo(q.seq) after releasing q.mu.
 func (q *Queue) transitionLocked(id string, rec walRecord) error {
 	q.seq++
 	rec.Seq, rec.ID = q.seq, id
 	if err := q.applyLocked(rec); err != nil {
 		return err
 	}
-	return q.append(rec)
+	return q.appendLocked(rec)
 }
 
 // Get returns a copy of the job, if retained.
@@ -776,6 +1194,7 @@ func (q *Queue) StatsSnapshot() Stats {
 		Deduped:     q.deduped,
 		Requeued:    q.requeued,
 		Compactions: q.compactions,
+		Expired:     q.expired,
 	}
 	for _, j := range q.jobs {
 		switch j.State {
@@ -783,6 +1202,9 @@ func (q *Queue) StatsSnapshot() Stats {
 			st.Pending++
 		case StateRunning, StateCheckpointed:
 			st.Running++
+			if j.LeaseToken != "" {
+				st.Leased++
+			}
 		case StateDone:
 			st.Done++
 		case StateFailed:
@@ -820,12 +1242,16 @@ func (q *Queue) RegisterMetrics(r *metrics.Registry) {
 		func() float64 { return float64(q.StatsSnapshot().Requeued) })
 	r.CounterFunc("dramdig_queue_compactions_total", "WAL snapshot compactions.", nil,
 		func() float64 { return float64(q.StatsSnapshot().Compactions) })
+	r.GaugeFunc("dramdig_queue_leased", "In-flight jobs held under an active worker lease.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Leased) })
+	r.CounterFunc("dramdig_queue_lease_expired_total", "Leases requeued after missed heartbeats.", nil,
+		func() float64 { return float64(q.StatsSnapshot().Expired) })
 	walBuckets := metrics.ExpBuckets(10e-6, 4, 10) // 10µs .. ~2.6s
 	q.mu.Lock()
 	q.walAppend = r.Histogram("dramdig_wal_append_seconds",
-		"Full WAL append latency (encode + write + fsync) per record.", walBuckets, nil)
+		"WAL append latency (encode + write) per record; the fsync is group-committed separately.", walBuckets, nil)
 	q.walFsync = r.Histogram("dramdig_wal_fsync_seconds",
-		"WAL fsync latency per record.", walBuckets, nil)
+		"WAL fsync latency per group commit (one flush may cover many records).", walBuckets, nil)
 	q.mu.Unlock()
 }
 

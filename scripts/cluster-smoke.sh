@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the cluster subsystem: boot a coordinator
+# in remote-dispatch mode plus two dramdig-worker processes, run one
+# real campaign through the lease protocol with a W3C traceparent, and
+# check that the campaign completes exactly once, that the span tree
+# served by the coordinator contains both coordinator and worker spans
+# under the inbound trace ID, that both workers registered (and the one
+# that ran the job completed it), and that the dramdig_cluster_* metric
+# families rendered and moved. CI runs this after the unit suites; run
+# it locally with `./scripts/cluster-smoke.sh`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:18081}
+if curl -fsS --max-time 2 "http://$ADDR/v1/healthz" >/dev/null 2>&1; then
+  echo "cluster-smoke: something is already listening on $ADDR (set ADDR to override)" >&2
+  exit 1
+fi
+WORKDIR=$(mktemp -d)
+# Wait for the killed processes to actually exit before removing the
+# workdir: the daemon compacts its queue on shutdown, and an rm -rf
+# racing that write loses. Waiting also keeps back-to-back runs from
+# colliding on the listen address.
+cleanup() {
+  kill "${W1_PID:-}" "${W2_PID:-}" "${DAEMON_PID:-}" 2>/dev/null || true
+  wait "${W1_PID:-}" "${W2_PID:-}" "${DAEMON_PID:-}" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+go build -o "$WORKDIR/dramdigd" ./cmd/dramdigd
+go build -o "$WORKDIR/dramdig-worker" ./cmd/dramdig-worker
+
+# The short lease TTL makes workers heartbeat every ~80ms, so a
+# campaign of ~19 serialized jobs crosses several heartbeats — enough
+# to exercise checkpoint shipping without ever lapsing a live lease.
+"$WORKDIR/dramdigd" -addr "$ADDR" -dispatch remote -lease-ttl 250ms \
+  -cache-dir "$WORKDIR/cache" -queue-dir "$WORKDIR/queue" \
+  -log-format json >"$WORKDIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "cluster-smoke: coordinator died during boot" >&2
+    cat "$WORKDIR/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+"$WORKDIR/dramdig-worker" -coordinator "http://$ADDR" -name smoke-w1 \
+  -workers 1 -poll 100ms -log-format json >"$WORKDIR/w1.log" 2>&1 &
+W1_PID=$!
+"$WORKDIR/dramdig-worker" -coordinator "http://$ADDR" -name smoke-w2 \
+  -workers 1 -poll 100ms -log-format json >"$WORKDIR/w2.log" 2>&1 &
+W2_PID=$!
+
+# One real campaign, submitted with a W3C traceparent so the whole
+# cross-process pipeline joins our trace, driven to "done" by whichever
+# worker leases it.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+TRACEPARENT="00-$TRACE_ID-00f067aa0ba902b7-01"
+post=$(curl -fsS "http://$ADDR/v1/campaigns" \
+  -H "traceparent: $TRACEPARENT" -d '{"machines":[-1],"generated":10,"seed":42,"workers":1}')
+id=$(echo "$post" | jq -r .id)
+for i in $(seq 1 150); do
+  status=$(curl -fsS "http://$ADDR/v1/campaigns/$id" | jq -r .status)
+  [ "$status" = done ] && break
+  if [ "$status" = failed ]; then
+    echo "cluster-smoke: campaign failed" >&2
+    curl -fsS "http://$ADDR/v1/campaigns/$id" >&2
+    cat "$WORKDIR/w1.log" "$WORKDIR/w2.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ "${status:-}" != done ]; then
+  echo "cluster-smoke: campaign not done after 150s (status: ${status:-unknown})" >&2
+  cat "$WORKDIR/daemon.log" "$WORKDIR/w1.log" "$WORKDIR/w2.log" >&2
+  exit 1
+fi
+
+# Both workers registered; between them the campaign completed exactly
+# once, and the remote run left its results in the coordinator's store.
+workers=$(curl -fsS "http://$ADDR/v1/workers")
+echo "$workers" | jq -e '.dispatch == "remote" and (.workers | length == 2)' >/dev/null \
+  || { echo "cluster-smoke: bad worker registry: $workers" >&2; exit 1; }
+echo "$workers" | jq -e '[.workers[].completed] | add == 1' >/dev/null \
+  || { echo "cluster-smoke: campaign not completed exactly once: $workers" >&2; exit 1; }
+fp=$(curl -fsS "http://$ADDR/v1/campaigns/$id" | jq -r '.report.jobs[0].machine_fingerprint')
+curl -fsS "http://$ADDR/v1/mappings/$fp" >/dev/null \
+  || { echo "cluster-smoke: worker-computed result $fp not served from the store" >&2; exit 1; }
+
+# The span tree crosses the process boundary: coordinator spans
+# (queue.wait, cluster.lease) and worker spans (worker.campaign,
+# campaign.job, engine phases) on one inbound trace ID.
+spans=$(curl -fsS "http://$ADDR/v1/campaigns/$id/spans")
+echo "$spans" | jq -e --arg tid "$TRACE_ID" '.trace_id == $tid' >/dev/null \
+  || { echo "cluster-smoke: span tree not on inbound trace (got $(echo "$spans" | jq -r .trace_id))" >&2; exit 1; }
+names=$(echo "$spans" | jq -r '[.. | objects | .name? // empty] | join(" ")')
+for want in queue.wait cluster.lease worker.campaign campaign.job engine.fine; do
+  case " $names " in
+    *" $want "*) ;;
+    *) echo "cluster-smoke: span tree missing $want (have: $names)" >&2; exit 1 ;;
+  esac
+done
+echo "$spans" | jq -e --arg tid "$TRACE_ID" '[.. | objects | .trace_id? // empty] | all(. == $tid)' >/dev/null \
+  || { echo "cluster-smoke: span tree mixes trace IDs" >&2; exit 1; }
+
+# The cluster metric families rendered and moved.
+scrape=$(curl -fsS "http://$ADDR/v1/metrics")
+for family in \
+  dramdig_cluster_leases_granted_total \
+  dramdig_cluster_heartbeats_total \
+  dramdig_cluster_completions_total \
+  dramdig_cluster_results_uploaded_total \
+  dramdig_cluster_spans_ingested_total \
+  dramdig_cluster_workers \
+  dramdig_cluster_leases_active; do
+  echo "$scrape" | grep -q "^# TYPE $family " \
+    || { echo "cluster-smoke: family $family missing from scrape" >&2
+         echo "$scrape" | grep '^# TYPE' >&2; exit 1; }
+done
+for moved in \
+  "dramdig_cluster_leases_granted_total [1-9]" \
+  "dramdig_cluster_heartbeats_total [1-9]" \
+  "dramdig_cluster_completions_total 1" \
+  "dramdig_cluster_results_uploaded_total [1-9]" \
+  "dramdig_cluster_spans_ingested_total [1-9]" \
+  "dramdig_cluster_workers 2"; do
+  echo "$scrape" | grep -Eq "^$moved" \
+    || { echo "cluster-smoke: expected \"$moved\" in scrape" >&2
+         echo "$scrape" | grep '^dramdig_cluster' >&2; exit 1; }
+done
+
+nspans=$(echo "$spans" | jq '[.. | objects | .name? // empty] | length')
+echo "cluster-smoke: ok (campaign $id completed once across 2 workers, $nspans spans on trace $TRACE_ID)"
