@@ -15,7 +15,10 @@
 // the metrics_overhead
 // and tracing_overhead rows tracking what the hot-path sample
 // instrumentation and the per-phase span tracer cost relative to an
-// uninstrumented run.
+// uninstrumented run, and the heartbeat rows (heartbeat_bare,
+// heartbeat_with_snapshot, heartbeat_snapshot_overhead) tracking what
+// piggybacking a worker's metrics snapshot on a lease heartbeat costs
+// over the bare renewal.
 package main
 
 import (
@@ -24,12 +27,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"dramdig"
+	"dramdig/internal/cluster"
 	"dramdig/internal/engine"
 	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
@@ -96,6 +102,8 @@ func main() {
 	run("queue_submit_batched", benchQueueSubmitBatched)
 	run("queue_submit_memory", benchQueueSubmitMemory)
 	run("queue_recover", benchQueueRecover)
+	run("heartbeat_bare", func(b *testing.B) { benchHeartbeat(b, false) })
+	run("heartbeat_with_snapshot", func(b *testing.B) { benchHeartbeat(b, true) })
 
 	// BenchmarkEngineLiveVsReplay: one derived row so the JSON document
 	// tracks live-vs-trace-replay throughput directly across PRs. The
@@ -169,6 +177,31 @@ func main() {
 				"bare_ns_op":   bare.NsPerOp,
 				"traced_ns_op": traced.NsPerOp,
 				"overhead_pct": (traced.NsPerOp/bare.NsPerOp - 1) * 100,
+			},
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s overhead %+.2f%%\n",
+			row.Name, row.Metrics["overhead_pct"])
+	}
+
+	// heartbeat_snapshot_overhead: what piggybacking a full metrics
+	// snapshot on a lease heartbeat costs over the bare renewal. The
+	// round trip is WAL-fsync-bound, so encoding and federating the
+	// snapshot must stay within a few percent of the bare beat — that is
+	// what makes "no extra connection" fleet telemetry free in practice.
+	hbBare, hbSnap := byName("heartbeat_bare"), byName("heartbeat_with_snapshot")
+	switch {
+	case hbBare == nil || hbSnap == nil || hbBare.NsPerOp <= 0:
+		fmt.Fprintln(os.Stderr, "benchjson: skipping heartbeat_snapshot_overhead (inputs missing or degenerate)")
+	default:
+		row := benchResult{
+			Name:       "heartbeat_snapshot_overhead",
+			Iterations: hbSnap.Iterations,
+			NsPerOp:    hbSnap.NsPerOp,
+			Metrics: map[string]float64{
+				"bare_ns_op":     hbBare.NsPerOp,
+				"snapshot_ns_op": hbSnap.NsPerOp,
+				"overhead_pct":   (hbSnap.NsPerOp/hbBare.NsPerOp - 1) * 100,
 			},
 		}
 		doc.Benchmarks = append(doc.Benchmarks, row)
@@ -475,6 +508,82 @@ func benchQueueRecover(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// benchHeartbeat measures the worker→coordinator heartbeat round trip
+// against a real durable queue: the handler renews the lease through
+// q.Heartbeat (one WAL append + fsync, what the live coordinator pays)
+// and folds any shipped metrics into a federation as raw bytes, the way
+// /v1/cluster/heartbeat does. withSnapshot runs the beat exactly as
+// cluster.Worker does with a registry attached — snapshot a realistic
+// registry (runtime self-metrics plus the engine families) every beat,
+// reduce it to a change-only delta with periodic full resyncs, and
+// splice the encoded bytes into the request — so the delta over the
+// bare beat is the real price of piggybacked fleet telemetry. Like the
+// worker, snapshot attempts are floored at one per second: a beat
+// inside the window ships nothing and pays only a clock read.
+func benchHeartbeat(b *testing.B, withSnapshot bool) {
+	dir, err := os.MkdirTemp("", "benchhb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	q, err := queue.Open(queue.Config{Dir: dir, Capacity: 1 << 30, CompactEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	if _, _, err := q.Submit(benchPayload, queue.SubmitOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	j, ok, err := q.Lease("bench-worker", time.Hour, nil)
+	if err != nil || !ok {
+		b.Fatal(ok, err)
+	}
+
+	fed := metrics.NewFederation()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.HeartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, err := q.Heartbeat(j.ID, req.Worker, req.Token, time.Hour, req.Checkpoint); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fed.UpdateRaw(req.Worker, req.Metrics, time.Now())
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cluster.HeartbeatResponse{TTLMillis: time.Hour.Milliseconds()})
+	}))
+	defer srv.Close()
+
+	reg := metrics.NewRegistry()
+	metrics.RegisterRuntime(reg)
+	engine.NewInstrument(reg)
+	ship := metrics.NewDeltaEncoder(0)
+	client := cluster.NewClient(srv.URL, "bench-worker", srv.Client())
+	ctx := context.Background()
+	var lastShip time.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var snap json.RawMessage
+		if withSnapshot && time.Since(lastShip) >= time.Second {
+			lastShip = time.Now()
+			// Snapshot, delta-reduce, encode — Worker.snapshotJSON's path.
+			if s := ship.Encode(reg.Snapshot(), false); s != nil {
+				data, err := s.MarshalJSON()
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap = data
+			}
+		}
+		if _, err := client.Heartbeat(ctx, j.ID, j.LeaseToken, nil, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "beats/s")
 }
 
 func fatal(err error) {

@@ -36,6 +36,7 @@ import (
 	"dramdig/internal/buildinfo"
 	"dramdig/internal/cluster"
 	"dramdig/internal/logging"
+	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
 )
 
@@ -93,6 +94,10 @@ func main() {
 		Tracing:     *tracing,
 		Logger:      logger,
 		Tracer:      tracer,
+		// The worker serves no scrape endpoint of its own: snapshots of
+		// this registry ship with heartbeats and completions, and the
+		// coordinator federates them at /v1/cluster/metrics.
+		Metrics: metrics.NewRegistry(),
 	})
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "dramdig-worker: %s leasing from %s (workers %d)\n",

@@ -61,6 +61,10 @@ type clusterState struct {
 	workers map[string]*workerInfo
 	ring    *cluster.Ring
 
+	// fed holds the latest metrics snapshot per worker; its entries live
+	// and die with the worker registry (see reap).
+	fed *metrics.Federation
+
 	granted     *metrics.Counter
 	expired     *metrics.Counter
 	heartbeats  *metrics.Counter
@@ -70,12 +74,14 @@ type clusterState struct {
 	results     *metrics.Counter
 	traces      *metrics.Counter
 	spans       *metrics.Counter
+	snapshots   *metrics.Counter
 }
 
 func newClusterState(reg *metrics.Registry) *clusterState {
 	cl := &clusterState{
 		workers: make(map[string]*workerInfo),
 		ring:    cluster.NewRing(0),
+		fed:     metrics.NewFederation(),
 		granted: reg.Counter("dramdig_cluster_leases_granted_total",
 			"Job leases granted to cluster workers.", nil),
 		expired: reg.Counter("dramdig_cluster_leases_expired_total",
@@ -94,6 +100,8 @@ func newClusterState(reg *metrics.Registry) *clusterState {
 			"Timing traces uploaded by workers into the store.", nil),
 		spans: reg.Counter("dramdig_cluster_spans_ingested_total",
 			"Worker spans ingested into the coordinator's tracer.", nil),
+		snapshots: reg.Counter("dramdig_cluster_metric_snapshots_total",
+			"Worker metrics snapshots accepted into the federation.", nil),
 	}
 	reg.GaugeFunc("dramdig_cluster_workers",
 		"Cluster workers currently live on the shard ring.", nil,
@@ -154,6 +162,37 @@ func (cl *clusterState) adjust(name string, fn func(w *workerInfo)) {
 // owner returns the shard ring's preferred worker for a key.
 func (cl *clusterState) owner(key string) string { return cl.ring.Owner(key) }
 
+// ingestSnapshot folds one worker's shipped metrics snapshot into the
+// federation as raw bytes — the decode happens at scrape time, not per
+// beat, so telemetry adds only a byte copy to the heartbeat path.
+// Malformed or absent snapshots are ignored (the federation falls back
+// to the worker's last good one) — telemetry must never fail a
+// heartbeat or completion.
+func (cl *clusterState) ingestSnapshot(worker string, raw json.RawMessage) {
+	if worker == "" || len(raw) == 0 {
+		return
+	}
+	cl.fed.UpdateRaw(worker, raw, time.Now())
+	cl.snapshots.Inc()
+}
+
+// metricsInfo digests a worker's latest federated snapshot for its
+// /v1/workers row; nil when the worker never shipped one.
+func (cl *clusterState) metricsInfo(name string, now time.Time) *cluster.WorkerMetricsInfo {
+	snap, at, ok := cl.fed.Info(name)
+	if !ok {
+		return nil
+	}
+	info := &cluster.WorkerMetricsInfo{
+		AgeMillis: now.Sub(at).Milliseconds(),
+		Families:  len(snap.Families),
+	}
+	info.Goroutines, _ = snap.Total("dramdig_go_goroutines")
+	info.HeapAllocBytes, _ = snap.Total("dramdig_go_heap_alloc_bytes")
+	info.EngineSamples, _ = snap.Total("dramdig_engine_samples_total")
+	return info
+}
+
 // reap drops workers that have been silent past the silence window and
 // hold no leases: off the ring, marked dead, rows retained for
 // /v1/workers history.
@@ -169,26 +208,33 @@ func (cl *clusterState) reap(now time.Time, silence time.Duration) {
 	cl.mu.Unlock()
 	for _, name := range dead {
 		cl.ring.Remove(name)
+		// A reaped worker's metrics leave the federated page with it —
+		// stale samples would otherwise look like a live flat-lined node.
+		cl.fed.Remove(name)
 	}
 }
 
 // statuses renders the /v1/workers rows, sorted by name.
 func (cl *clusterState) statuses() []cluster.WorkerStatus {
+	now := time.Now()
 	cl.mu.Lock()
 	rows := make([]cluster.WorkerStatus, 0, len(cl.workers))
 	for _, w := range cl.workers {
 		rows = append(rows, cluster.WorkerStatus{
-			Name:         w.name,
-			Live:         w.live,
-			LastSeenUnix: w.lastSeen.Unix(),
-			ActiveLeases: w.active,
-			Completed:    w.completed,
-			Failed:       w.failed,
+			Name: w.name,
+			Live: w.live,
+			// An age, not a timestamp: meaningful to any reader without
+			// clock agreement with the coordinator.
+			LastHeartbeatAgeMillis: now.Sub(w.lastSeen).Milliseconds(),
+			ActiveLeases:           w.active,
+			Completed:              w.completed,
+			Failed:                 w.failed,
 		})
 	}
 	cl.mu.Unlock()
 	for i := range rows {
 		rows[i].ShardShare = cl.ring.Share(rows[i].Name)
+		rows[i].Metrics = cl.metricsInfo(rows[i].Name, now)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows
@@ -330,6 +376,7 @@ func (s *server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) 
 	}
 	s.cl.heartbeats.Inc()
 	s.cl.adjust(req.Worker, func(wi *workerInfo) { wi.lastSeen = time.Now() })
+	s.cl.ingestSnapshot(req.Worker, req.Metrics)
 	if len(req.Checkpoint) > 0 {
 		var cp campaign.Checkpoint
 		if err := json.Unmarshal(req.Checkpoint, &cp); err == nil {
@@ -371,6 +418,9 @@ func (s *server) handleClusterComplete(w http.ResponseWriter, r *http.Request) {
 		wi.completed++
 		wi.lastSeen = time.Now()
 	})
+	// The completion snapshot is a short-lived worker's last word: it
+	// lands even if the process exits before its next heartbeat.
+	s.cl.ingestSnapshot(req.Worker, req.Metrics)
 	if s.tracer != nil && len(req.Spans) > 0 {
 		s.cl.spans.Add(uint64(s.tracer.Ingest(req.Spans...)))
 	}
@@ -479,14 +529,26 @@ func (s *server) handleClusterUploadTrace(w http.ResponseWriter, r *http.Request
 	writeJSON(w, http.StatusOK, map[string]any{"fingerprint": fp, "bytes": len(data)})
 }
 
-// handleGetWorkers reports the worker registry: liveness, lease and
-// outcome counts, and each worker's exact shard-ring share.
+// handleGetWorkers reports the worker registry: liveness (as heartbeat
+// age), lease and outcome counts, each worker's exact shard-ring share,
+// and a digest of its last metrics snapshot.
 func (s *server) handleGetWorkers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers":      s.cl.statuses(),
 		"dispatch":     s.cfg.dispatch,
 		"lease_ttl_ms": s.cfg.leaseTTL.Milliseconds(),
 	})
+}
+
+// handleClusterMetrics serves the federated exposition page: every
+// worker's last shipped snapshot re-rendered as one scrape with an
+// `instance` label per sample. The coordinator's own metrics stay on
+// /metrics — the two pages answer different questions.
+func (s *server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cl.fed.WritePrometheus(w); err != nil {
+		s.logf("cluster metrics write: %v", err)
+	}
 }
 
 // sweepLeases expires overdue leases on a timer: each expired job goes

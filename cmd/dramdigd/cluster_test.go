@@ -22,6 +22,7 @@ import (
 
 	"dramdig/internal/campaign"
 	"dramdig/internal/cluster"
+	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
 	"dramdig/internal/queue"
 )
@@ -241,6 +242,7 @@ func startWorker(t *testing.T, url, name string, jobs int) (w *cluster.Worker, s
 		Retries:     1,
 		Poll:        10 * time.Millisecond,
 		Tracer:      obs.NewTracer(obs.Config{Capacity: 1024}),
+		Metrics:     metrics.NewRegistry(),
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
@@ -336,15 +338,177 @@ func TestClusterRemoteCampaign(t *testing.T) {
 		t.Errorf("span tree mixes trace IDs: %v", tids)
 	}
 
-	// Between them the two workers completed the campaign exactly once.
+	// Between them the two workers completed the campaign exactly once,
+	// and every registry row reports liveness as a heartbeat age.
 	_, wm := doJSON(t, srv, "GET", "/v1/workers", "")
 	var completed float64
+	var winner map[string]any
 	rows, _ := wm["workers"].([]any)
 	for _, r := range rows {
-		completed += r.(map[string]any)["completed"].(float64)
+		rm := r.(map[string]any)
+		completed += rm["completed"].(float64)
+		if rm["completed"].(float64) > 0 {
+			winner = rm
+		}
+		if age, ok := rm["last_heartbeat_age_ms"].(float64); !ok || age < 0 {
+			t.Errorf("worker %v last_heartbeat_age_ms = %v, want >= 0", rm["name"], rm["last_heartbeat_age_ms"])
+		}
+		if _, stale := rm["last_seen_unix"]; stale {
+			t.Errorf("worker row still carries last_seen_unix: %v", rm)
+		}
 	}
 	if completed != 1 {
 		t.Errorf("workers completed %v campaigns, want exactly 1: %v", completed, wm)
+	}
+
+	// The completing worker shipped metrics snapshots (heartbeats and the
+	// completion); its /v1/workers row digests the latest one and the
+	// federated page serves its families instance-labeled.
+	if winner == nil {
+		t.Fatal("no worker completed the campaign")
+	}
+	digest, _ := winner["metrics"].(map[string]any)
+	if digest == nil {
+		t.Fatalf("completing worker %v has no metrics digest", winner["name"])
+	}
+	if digest["engine_samples"].(float64) <= 0 || digest["goroutines"].(float64) < 1 {
+		t.Fatalf("metrics digest implausible: %v", digest)
+	}
+	fedPage := clusterReq(t, srv, "GET", "/v1/cluster/metrics", "")
+	if fedPage.Code != http.StatusOK {
+		t.Fatalf("GET /v1/cluster/metrics: %d", fedPage.Code)
+	}
+	if ct := fedPage.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("federated page content type %q", ct)
+	}
+	page := fedPage.Body.String()
+	instanceSample := fmt.Sprintf(`dramdig_engine_samples_total{instance=%q}`, winner["name"])
+	if !strings.Contains(page, instanceSample) {
+		t.Errorf("federated page missing %s:\n%s", instanceSample, page)
+	}
+	for _, fam := range []string{"dramdig_go_goroutines{instance=", "dramdig_worker_completed_total{instance="} {
+		if !strings.Contains(page, fam) {
+			t.Errorf("federated page missing %s family", fam)
+		}
+	}
+
+	// The campaign timeline merges queue history with spans from both
+	// processes, chronologically ordered, each event naming its worker.
+	code, tl := doJSON(t, srv, "GET", "/v1/campaigns/"+id+"/timeline", "")
+	if code != http.StatusOK || tl["trace_id"] != traceID {
+		t.Fatalf("GET timeline: %d %v", code, tl)
+	}
+	events, _ := tl["events"].([]any)
+	if len(events) == 0 {
+		t.Fatal("timeline is empty")
+	}
+	var last float64
+	sources := map[string]bool{}
+	types := map[string]bool{}
+	workerSpanned := false
+	for i, e := range events {
+		em := e.(map[string]any)
+		at := em["at_unix_nano"].(float64)
+		if at < last {
+			t.Fatalf("timeline not chronological at %d: %v", i, events)
+		}
+		last = at
+		sources[em["source"].(string)] = true
+		types[em["type"].(string)] = true
+		if em["source"] == "span" && (em["worker"] == "alpha" || em["worker"] == "beta") {
+			workerSpanned = true
+		}
+		if em["type"] == "leased" && em["worker"] != winner["name"] {
+			t.Errorf("leased event attributes wrong worker: %v", em)
+		}
+	}
+	if !sources["queue"] || !sources["span"] {
+		t.Errorf("timeline sources = %v, want both queue and span", sources)
+	}
+	for _, wantType := range []string{"submitted", "leased", "done", "span.start", "span.end"} {
+		if !types[wantType] {
+			t.Errorf("timeline missing %q event (have %v)", wantType, types)
+		}
+	}
+	if !workerSpanned {
+		t.Error("no span event attributed to a worker process")
+	}
+	if tl["total"].(float64) != float64(len(events)) || tl["truncated"].(bool) {
+		t.Errorf("timeline total/truncated bookkeeping: %v %v", tl["total"], tl["truncated"])
+	}
+
+	// Unknown campaigns 404 like every other campaign endpoint.
+	if code, _ := doJSON(t, srv, "GET", "/v1/campaigns/c999/timeline", ""); code != http.StatusNotFound {
+		t.Errorf("timeline for unknown campaign: %d, want 404", code)
+	}
+}
+
+// TestClusterMetricsFederation drives snapshot shipping at the handler
+// level: a heartbeat carrying a real registry snapshot lands in the
+// federation, the /v1/workers row digests it, and a worker reaped for
+// silence takes its samples off the federated page.
+func TestClusterMetricsFederation(t *testing.T) {
+	srv := newTestServerWith(t, queue.Config{}, serverConfig{dispatch: "remote"})
+	_, m := postJSON(t, srv, "POST", "/v1/campaigns", `{"machines":[1],"seed":3}`, nil)
+	id := m["id"].(string)
+	g, ok := leaseAs(t, srv, "w1")
+	if !ok {
+		t.Fatal("no grant")
+	}
+
+	reg := metrics.NewRegistry()
+	reg.Counter("fed_probe_total", "Probe.", metrics.Labels{"instance": "self"}).Add(5)
+	metrics.RegisterRuntime(reg)
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/heartbeat",
+		fmt.Sprintf(`{"worker":"w1","token":%q,"metrics":%s}`, g.Token, snap))
+	if code != http.StatusOK {
+		t.Fatalf("metrics-bearing heartbeat: %d", code)
+	}
+
+	page := clusterReq(t, srv, "GET", "/v1/cluster/metrics", "").Body.String()
+	// The worker's own "instance" label is preserved as
+	// exported_instance; the injected one names the worker.
+	if !strings.Contains(page, `fed_probe_total{exported_instance="self",instance="w1"} 5`) {
+		t.Fatalf("federated page missing relabeled probe:\n%s", page)
+	}
+	if !strings.Contains(page, `dramdig_go_goroutines{instance="w1"}`) {
+		t.Fatalf("federated page missing runtime self-metrics:\n%s", page)
+	}
+
+	_, wm := doJSON(t, srv, "GET", "/v1/workers", "")
+	rows, _ := wm["workers"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("worker rows: %v", wm)
+	}
+	row := rows[0].(map[string]any)
+	digest, _ := row["metrics"].(map[string]any)
+	if digest == nil || digest["families"].(float64) < 2 || digest["goroutines"].(float64) < 1 {
+		t.Fatalf("worker metrics digest: %v", row)
+	}
+
+	// A malformed snapshot is ignored, never an error.
+	code, _ = doJSON(t, srv, "POST", "/v1/cluster/jobs/"+id+"/heartbeat",
+		fmt.Sprintf(`{"worker":"w1","token":%q,"metrics":{"families":"nonsense"}}`, g.Token))
+	if code != http.StatusOK {
+		t.Fatalf("heartbeat with bad snapshot: %d, want 200", code)
+	}
+
+	// Reaping the worker (silent, no active leases) drops its samples.
+	if err := srv.q.CompleteLease(id, "w1", g.Token, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.cl.adjust("w1", func(wi *workerInfo) {
+		wi.active = 0
+		wi.lastSeen = time.Now().Add(-time.Hour)
+	})
+	srv.cl.reap(time.Now(), time.Minute)
+	page = clusterReq(t, srv, "GET", "/v1/cluster/metrics", "").Body.String()
+	if strings.Contains(page, "fed_probe_total") {
+		t.Fatalf("reaped worker still on the federated page:\n%s", page)
 	}
 }
 

@@ -247,6 +247,7 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleGetCampaignTrace)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/spans", s.handleGetCampaignSpans)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/timeline", s.handleGetCampaignTimeline)
 	s.mux.HandleFunc("GET /v1/debug/spans", s.handleDebugSpans)
 	s.mux.HandleFunc("GET /v1/mappings/{fingerprint}", s.handleGetMapping)
 	s.mux.HandleFunc("GET /v1/traces/{fingerprint}", s.handleGetTrace)
@@ -261,6 +262,9 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 	s.mux.HandleFunc("PUT /v1/cluster/results/{fingerprint}", s.handleClusterUploadResult)
 	s.mux.HandleFunc("PUT /v1/cluster/traces/{fingerprint}", s.handleClusterUploadTrace)
 	s.mux.HandleFunc("GET /v1/workers", s.handleGetWorkers)
+	// The federated fleet scrape: every worker's last shipped snapshot
+	// on one page, instance-labeled (cluster.go).
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	s.mux.Handle("GET /v1/metrics", s.reg.Handler())
 	// /metrics is the conventional scrape path — an alias, not a
 	// deprecated route.

@@ -52,11 +52,18 @@ func (c *Client) Worker() string { return c.worker }
 func (c *Client) do(ctx context.Context, method, path string, body, out any, okStatuses ...int) (int, error) {
 	var rd io.Reader
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return 0, fmt.Errorf("cluster: encode %s: %w", path, err)
+		if raw, ok := body.(json.RawMessage); ok {
+			// Pre-encoded body: send it verbatim. The heartbeat path
+			// builds its own bytes so the metrics snapshot isn't
+			// re-scanned and re-compacted by the reflection encoder.
+			rd = bytes.NewReader(raw)
+		} else {
+			data, err := json.Marshal(body)
+			if err != nil {
+				return 0, fmt.Errorf("cluster: encode %s: %w", path, err)
+			}
+			rd = bytes.NewReader(data)
 		}
-		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -117,23 +124,49 @@ func (c *Client) Lease(ctx context.Context) (*LeaseGrant, bool, error) {
 }
 
 // Heartbeat renews the lease, shipping a checkpoint when cp is
-// non-empty, and returns the renewed TTL.
-func (c *Client) Heartbeat(ctx context.Context, id, token string, cp json.RawMessage) (time.Duration, error) {
+// non-empty and a metrics snapshot when snap is non-empty (both ride
+// the one request), and returns the renewed TTL. This is the cluster's
+// hottest RPC — every worker beats at TTL/3 — so the body is built by
+// hand and cp/snap (already JSON from their own encoders) are spliced
+// in verbatim instead of being re-scanned by the reflection encoder.
+func (c *Client) Heartbeat(ctx context.Context, id, token string, cp, snap json.RawMessage) (time.Duration, error) {
+	body := make(json.RawMessage, 0, 64+len(cp)+len(snap))
+	body = append(body, `{"worker":`...)
+	body = appendQuoted(body, c.worker)
+	body = append(body, `,"token":`...)
+	body = appendQuoted(body, token)
+	if len(cp) > 0 {
+		body = append(body, `,"checkpoint":`...)
+		body = append(body, cp...)
+	}
+	if len(snap) > 0 {
+		body = append(body, `,"metrics":`...)
+		body = append(body, snap...)
+	}
+	body = append(body, '}')
 	var resp HeartbeatResponse
 	_, err := c.do(ctx, http.MethodPost, "/v1/cluster/jobs/"+id+"/heartbeat",
-		HeartbeatRequest{Worker: c.worker, Token: token, Checkpoint: cp}, &resp,
-		http.StatusOK)
+		body, &resp, http.StatusOK)
 	if err != nil {
 		return 0, err
 	}
 	return time.Duration(resp.TTLMillis) * time.Millisecond, nil
 }
 
-// Complete reports a finished job: the campaign report plus the
-// worker's finished spans for the job's trace.
-func (c *Client) Complete(ctx context.Context, id, token string, report json.RawMessage, spans []obs.SpanData) error {
+// appendQuoted appends s as a JSON string.
+func appendQuoted(buf []byte, s string) []byte {
+	q, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return append(buf, `""`...)
+	}
+	return append(buf, q...)
+}
+
+// Complete reports a finished job: the campaign report, the worker's
+// finished spans for the job's trace, and its final metrics snapshot.
+func (c *Client) Complete(ctx context.Context, id, token string, report json.RawMessage, spans []obs.SpanData, snap json.RawMessage) error {
 	_, err := c.do(ctx, http.MethodPost, "/v1/cluster/jobs/"+id+"/complete",
-		CompleteRequest{Worker: c.worker, Token: token, Report: report, Spans: spans}, nil,
+		CompleteRequest{Worker: c.worker, Token: token, Report: report, Spans: spans, Metrics: snap}, nil,
 		http.StatusOK)
 	return err
 }

@@ -78,6 +78,10 @@ type HeartbeatRequest struct {
 	// heartbeat, if any — the coordinator persists it in the queue WAL,
 	// so a lease expiry (or coordinator restart) resumes, not restarts.
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Metrics is the worker's current metrics.Snapshot (JSON), piggybacked
+	// on the heartbeat so fleet telemetry needs no extra connection.
+	// Optional: coordinators ignore its absence, old workers never send it.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat with the renewed TTL.
@@ -96,6 +100,10 @@ type CompleteRequest struct {
 	// ingested into the coordinator's tracer so the span tree crosses
 	// the process boundary.
 	Spans []obs.SpanData `json:"spans,omitempty"`
+	// Metrics is the worker's final metrics.Snapshot for this lease —
+	// the completion is the last word a short-lived worker gets in, so
+	// the federated page reflects its finished work. Optional.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // FailRequest is the POST .../fail body.
@@ -110,8 +118,11 @@ type WorkerStatus struct {
 	Name string `json:"name"`
 	// Live is false once the worker has been silent long enough to be
 	// reaped from the shard ring.
-	Live         bool  `json:"live"`
-	LastSeenUnix int64 `json:"last_seen_unix"`
+	Live bool `json:"live"`
+	// LastHeartbeatAgeMillis is how long ago the worker was last heard
+	// from — an age, not a raw timestamp, so readers need no clock
+	// agreement with the coordinator to judge liveness.
+	LastHeartbeatAgeMillis int64 `json:"last_heartbeat_age_ms"`
 	// ActiveLeases counts jobs this worker currently holds.
 	ActiveLeases int    `json:"active_leases"`
 	Completed    uint64 `json:"completed"`
@@ -119,4 +130,23 @@ type WorkerStatus struct {
 	// ShardShare is the fraction of the fingerprint keyspace this
 	// worker's ring segments own (0 when not on the ring).
 	ShardShare float64 `json:"shard_share"`
+	// Metrics summarizes the worker's last federated snapshot; nil until
+	// the worker has shipped one.
+	Metrics *WorkerMetricsInfo `json:"metrics,omitempty"`
+}
+
+// WorkerMetricsInfo is the fleet-status digest of one worker's latest
+// metrics snapshot — enough to spot a hot or dying worker from
+// GET /v1/workers without scraping the full federated page.
+type WorkerMetricsInfo struct {
+	// AgeMillis is how old the snapshot is.
+	AgeMillis int64 `json:"age_ms"`
+	// Families counts metric families in the snapshot.
+	Families int `json:"families"`
+	// Goroutines and HeapAllocBytes are the worker's Go runtime
+	// self-metrics at snapshot time.
+	Goroutines     float64 `json:"goroutines,omitempty"`
+	HeapAllocBytes float64 `json:"heap_alloc_bytes,omitempty"`
+	// EngineSamples is the worker's cumulative dramdig_engine_samples_total.
+	EngineSamples float64 `json:"engine_samples,omitempty"`
 }

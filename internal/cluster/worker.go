@@ -21,9 +21,12 @@ import (
 
 	"dramdig/internal/campaign"
 	"dramdig/internal/core"
+	"dramdig/internal/engine"
 	"dramdig/internal/logging"
+	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
 	"dramdig/internal/store"
+	"dramdig/internal/timing"
 )
 
 // WorkerConfig tunes a Worker.
@@ -46,6 +49,11 @@ type WorkerConfig struct {
 	// records campaign spans and ships them with each completion.
 	Logger *slog.Logger
 	Tracer *obs.Tracer
+	// Metrics, when non-nil, collects this worker's telemetry: Go runtime
+	// self-metrics, engine/campaign families, and lease counters.
+	// Snapshots of it piggyback on heartbeats and completions so the
+	// coordinator's federated scrape covers the fleet.
+	Metrics *metrics.Registry
 	// HTTPClient overrides the default client (tests).
 	HTTPClient *http.Client
 }
@@ -57,9 +65,29 @@ type Worker struct {
 	client *Client
 	log    *slog.Logger
 
+	// inst and cm instrument the campaign engine when cfg.Metrics is
+	// set; both are nil-safe downstream. ship reduces successive
+	// snapshots to change-only deltas for the heartbeat wire.
+	inst *timing.Instrument
+	cm   *campaign.Metrics
+	ship *metrics.DeltaEncoder
+
 	completed atomic.Uint64
 	failed    atomic.Uint64
+	leases    atomic.Uint64
+
+	// lastShip is the unix-nano time of the last snapshot encode;
+	// heartbeats cheaper than snapshotMinInterval apart skip the
+	// encode entirely.
+	lastShip atomic.Int64
 }
+
+// snapshotMinInterval floors how often heartbeats attempt a metrics
+// snapshot. Heartbeats run at TTL/3, which for short leases can be far
+// faster than any scraper reads the federated page; snapshot shipping
+// keeps its own cadence so a hot heartbeat loop never pays the
+// walk-the-registry cost per beat. Completions bypass the floor.
+const snapshotMinInterval = time.Second
 
 // NewWorker builds a worker.
 func NewWorker(cfg WorkerConfig) *Worker {
@@ -76,11 +104,56 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if log == nil {
 		log = logging.Discard()
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:    cfg,
 		client: NewClient(cfg.Coordinator, cfg.Name, cfg.HTTPClient),
 		log:    log.With("worker", cfg.Name),
 	}
+	if r := cfg.Metrics; r != nil {
+		metrics.RegisterRuntime(r)
+		w.inst = engine.NewInstrument(r)
+		w.cm = campaign.NewMetrics(r)
+		w.ship = metrics.NewDeltaEncoder(0)
+		r.CounterFunc("dramdig_worker_leases_total",
+			"Lease grants accepted by this worker.", nil,
+			func() float64 { return float64(w.leases.Load()) })
+		r.CounterFunc("dramdig_worker_completed_total",
+			"Campaign jobs this worker completed.", nil,
+			func() float64 { return float64(w.completed.Load()) })
+		r.CounterFunc("dramdig_worker_failed_total",
+			"Campaign jobs this worker failed or could not report.", nil,
+			func() float64 { return float64(w.failed.Load()) })
+	}
+	return w
+}
+
+// snapshotJSON marshals the worker's current metrics snapshot for the
+// wire; nil when the worker has no registry (the payload fields are
+// omitempty, so old-style heartbeats go out unchanged) or when nothing
+// changed since the last ship. Heartbeats send change-only deltas with
+// a periodic full resync; completions force a full snapshot so a
+// coordinator that lost this worker's state (restart, reap) is whole
+// again by the time the job's results land. The snapshot's own encoder
+// is called directly — json.Marshal would re-scan and re-compact its
+// output, doubling the cost of every heartbeat's payload.
+func (w *Worker) snapshotJSON(full bool) json.RawMessage {
+	if w.cfg.Metrics == nil {
+		return nil
+	}
+	now := time.Now()
+	if !full && now.UnixNano()-w.lastShip.Load() < int64(snapshotMinInterval) {
+		return nil
+	}
+	snap := w.ship.Encode(w.cfg.Metrics.Snapshot(), full)
+	w.lastShip.Store(now.UnixNano())
+	if snap == nil {
+		return nil
+	}
+	data, err := snap.MarshalJSON()
+	if err != nil {
+		return nil
+	}
+	return data
 }
 
 // Stats reports lifetime completion counts (tests and shutdown logs).
@@ -182,6 +255,8 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 		Wrap:         w.wrap,
 		Restore:      w.restore,
 		OnCheckpoint: sink.Put,
+		Metrics:      w.cm,
+		Instrument:   w.inst,
 	}
 	if cfg.Workers <= 0 || cfg.Workers > w.cfg.Workers {
 		cfg.Workers = w.cfg.Workers
@@ -198,6 +273,7 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 		}
 	}
 
+	w.leases.Add(1)
 	w.log.Info("campaign leased", append([]any{"campaign", g.ID, "jobs", len(specs), "attempt", g.Attempts}, obs.LogAttrs(tctx)...)...)
 	rep, runErr := campaign.Run(tctx, specs, cfg)
 	cancel()
@@ -227,7 +303,7 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 		if w.cfg.Tracer != nil {
 			spans = w.cfg.Tracer.TraceSpans(traceID)
 		}
-		if err := w.client.Complete(ctx, g.ID, g.Token, report, spans); err != nil {
+		if err := w.client.Complete(ctx, g.ID, g.Token, report, spans, w.snapshotJSON(true)); err != nil {
 			w.failed.Add(1)
 			w.log.Warn("completion not delivered", "campaign", g.ID, "err", err)
 			return
@@ -268,7 +344,9 @@ func (w *Worker) heartbeat(ctx context.Context, g *LeaseGrant, ttl time.Duration
 				cp = data
 			}
 		}
-		if _, err := w.client.Heartbeat(ctx, g.ID, g.Token, cp); err != nil {
+		// The metrics snapshot rides the beat: fleet telemetry at TTL/3
+		// cadence with no extra connection.
+		if _, err := w.client.Heartbeat(ctx, g.ID, g.Token, cp, w.snapshotJSON(false)); err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				lost.Store(true)
 				cancel()

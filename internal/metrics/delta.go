@@ -1,0 +1,155 @@
+// Delta shipping: a sender that snapshots its registry on every lease
+// heartbeat would re-transmit an almost entirely unchanged document
+// each time — help strings, bucket layouts, idle counters. DeltaEncoder
+// tracks what one sender last shipped so the common beat carries only
+// the children whose values moved (or nothing at all), with a periodic
+// full snapshot bounding how long a receiver that lost state (restart,
+// reap) stays partial. Deltas carry absolute values, not increments, so
+// a lost or replayed delta can never double-count; applying one is
+// last-writer-wins per child.
+
+package metrics
+
+import "sync"
+
+// defaultResyncEvery is how many encodes separate full snapshots when
+// the caller doesn't choose: at the worker's TTL/3 heartbeat cadence a
+// receiver with no base is whole again within ~5 lease TTLs.
+const defaultResyncEvery = 16
+
+// DeltaEncoder reduces successive snapshots of one registry to deltas.
+// Safe for concurrent use; the zero value is not valid, use
+// NewDeltaEncoder.
+type DeltaEncoder struct {
+	mu     sync.Mutex
+	every  int
+	sinceN int                                 // encodes since the last full snapshot
+	seen   map[string]map[string]ChildSnapshot // family name → child signature → last shipped state
+}
+
+// NewDeltaEncoder returns an encoder that re-ships a full snapshot
+// every `every` encodes (and on first use); every <= 0 uses the
+// default.
+func NewDeltaEncoder(every int) *DeltaEncoder {
+	if every <= 0 {
+		every = defaultResyncEvery
+	}
+	return &DeltaEncoder{every: every}
+}
+
+// Encode returns what to ship for s: the full snapshot itself (first
+// use, every resync interval, or when forceFull is set), a delta
+// holding only changed children (Delta true, help omitted), or nil when
+// nothing changed since the last encode — the caller skips the payload
+// entirely. A nil encoder or snapshot passes s through.
+func (d *DeltaEncoder) Encode(s *Snapshot, forceFull bool) *Snapshot {
+	if d == nil || s == nil {
+		return s
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if forceFull || d.seen == nil || d.sinceN >= d.every-1 {
+		d.seen = make(map[string]map[string]ChildSnapshot, len(s.Families))
+		for _, f := range s.Families {
+			m := make(map[string]ChildSnapshot, len(f.Children))
+			for _, c := range f.Children {
+				m[labelSignature(c.Labels)] = c
+			}
+			d.seen[f.Name] = m
+		}
+		d.sinceN = 0
+		return s
+	}
+	d.sinceN++
+	out := &Snapshot{Delta: true}
+	for _, f := range s.Families {
+		m := d.seen[f.Name]
+		if m == nil {
+			m = make(map[string]ChildSnapshot, len(f.Children))
+			d.seen[f.Name] = m
+		}
+		var changed []ChildSnapshot
+		for _, c := range f.Children {
+			sig := labelSignature(c.Labels)
+			if prev, ok := m[sig]; ok && childEqual(prev, c) {
+				continue
+			}
+			m[sig] = c
+			changed = append(changed, c)
+		}
+		if len(changed) > 0 {
+			out.Families = append(out.Families, FamilySnapshot{
+				Name:     f.Name,
+				Kind:     f.Kind,
+				Buckets:  f.Buckets,
+				Children: changed,
+			})
+		}
+	}
+	if len(out.Families) == 0 {
+		return nil
+	}
+	return out
+}
+
+// childEqual reports whether two readings of the same child (labels
+// already matched by signature) carry the same values.
+func childEqual(a, b ChildSnapshot) bool {
+	if a.Value != b.Value || a.Sum != b.Sum || a.Count != b.Count ||
+		len(a.BucketCounts) != len(b.BucketCounts) {
+		return false
+	}
+	for i := range a.BucketCounts {
+		if a.BucketCounts[i] != b.BucketCounts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyDelta merges a delta snapshot onto base and returns the merged
+// full snapshot (base itself is not mutated). Children are matched by
+// label signature: present ones are replaced, new ones appended, and a
+// family the base never saw is adopted whole. A family whose kind or
+// bucket layout changed is replaced wholesale — the delta's view of the
+// sender wins — keeping only the base's help text, which deltas omit.
+func applyDelta(base, delta *Snapshot) *Snapshot {
+	out := &Snapshot{Families: make([]FamilySnapshot, 0, len(base.Families)+len(delta.Families))}
+	idx := make(map[string]int, len(base.Families))
+	for _, f := range base.Families {
+		nf := f
+		nf.Children = append([]ChildSnapshot(nil), f.Children...)
+		idx[f.Name] = len(out.Families)
+		out.Families = append(out.Families, nf)
+	}
+	for _, df := range delta.Families {
+		i, ok := idx[df.Name]
+		if !ok {
+			nf := df
+			nf.Children = append([]ChildSnapshot(nil), df.Children...)
+			idx[df.Name] = len(out.Families)
+			out.Families = append(out.Families, nf)
+			continue
+		}
+		bf := &out.Families[i]
+		if bf.Kind != df.Kind || !equalFloats(bf.Buckets, df.Buckets) {
+			help := bf.Help
+			*bf = df
+			bf.Help = help
+			bf.Children = append([]ChildSnapshot(nil), df.Children...)
+			continue
+		}
+		pos := make(map[string]int, len(bf.Children))
+		for k, c := range bf.Children {
+			pos[labelSignature(c.Labels)] = k
+		}
+		for _, c := range df.Children {
+			if k, ok := pos[labelSignature(c.Labels)]; ok {
+				bf.Children[k] = c
+			} else {
+				bf.Children = append(bf.Children, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotMarshalRoundTrip: the hand-rolled encoder's output is
+// what stdlib produces semantically — stdlib Unmarshal recovers the
+// exact snapshot, including awkward strings, the delta flag, and
+// omitted zero fields.
+func TestSnapshotMarshalRoundTrip(t *testing.T) {
+	orig := &Snapshot{Delta: true, Families: []FamilySnapshot{
+		{
+			Name:    "h_lat",
+			Help:    "quo\"te back\\slash new\nline tab\tctl\x01 и utf✓",
+			Kind:    "histogram",
+			Buckets: []float64{0.001, 2.5, 1e-9, 4e6},
+			Children: []ChildSnapshot{
+				{Labels: Labels{"b": "2", "a": "1"}, BucketCounts: []uint64{0, 3, 0, 1, 2}, Sum: 12.75, Count: 6},
+				{BucketCounts: []uint64{1, 0, 0, 0, 0}, Sum: 0.0005, Count: 1},
+			},
+		},
+		{Name: "c_total", Kind: "counter", Children: []ChildSnapshot{{Value: 41}}},
+		{Name: "g_zero", Kind: "gauge", Children: []ChildSnapshot{{}}},
+	}}
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("encoder emitted invalid JSON: %s", data)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("stdlib cannot decode hand-rolled output: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(&got, orig) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", &got, orig)
+	}
+	// Empty snapshots stay minimal, delta or not.
+	if d, _ := (&Snapshot{}).MarshalJSON(); string(d) != "{}" {
+		t.Fatalf("empty snapshot = %s", d)
+	}
+	if d, _ := (&Snapshot{Delta: true}).MarshalJSON(); string(d) != `{"delta":true}` {
+		t.Fatalf("empty delta = %s", d)
+	}
+	// Non-finite readings encode as 0 rather than corrupting the wire.
+	bad := &Snapshot{Families: []FamilySnapshot{{Name: "n", Kind: "gauge",
+		Children: []ChildSnapshot{{Value: nan()}}}}}
+	data, err = bad.MarshalJSON()
+	if err != nil || !json.Valid(data) {
+		t.Fatalf("NaN encode: %v %s", err, data)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestDeltaEncoder: first encode is full, unchanged registries encode
+// to nothing, moved children ship alone without help, and the resync
+// interval forces a periodic full snapshot.
+func TestDeltaEncoder(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("d_total", "Counted.", Labels{"k": "v"})
+	g := r.Gauge("d_depth", "Depth.", nil)
+	h := r.Histogram("d_lat", "Latency.", []float64{1}, nil)
+	c.Add(2)
+	g.Set(3)
+	h.Observe(0.5)
+
+	enc := NewDeltaEncoder(3)
+	first := enc.Encode(r.Snapshot(), false)
+	if first == nil || first.Delta || len(first.Families) != 3 {
+		t.Fatalf("first encode = %+v, want full", first)
+	}
+	if enc.Encode(r.Snapshot(), false) != nil {
+		t.Fatal("unchanged registry produced a payload")
+	}
+
+	c.Add(5)
+	h.Observe(7)
+	d := enc.Encode(r.Snapshot(), false)
+	if d == nil || !d.Delta || len(d.Families) != 2 {
+		t.Fatalf("delta = %+v, want 2 changed families", d)
+	}
+	for _, f := range d.Families {
+		if f.Help != "" {
+			t.Fatalf("delta family carries help: %+v", f)
+		}
+	}
+	if v, ok := d.Total("d_total"); !ok || v != 7 {
+		t.Fatalf("delta carries absolute values: Total = %v, %v", v, ok)
+	}
+
+	// Encodes 1 (full), 2, 3 already done; with every=3 the next one
+	// resyncs full even with nothing changed.
+	full := enc.Encode(r.Snapshot(), false)
+	if full == nil || full.Delta || len(full.Families) != 3 {
+		t.Fatalf("resync encode = %+v, want full", full)
+	}
+	// forceFull overrides the delta path immediately.
+	forced := enc.Encode(r.Snapshot(), true)
+	if forced == nil || forced.Delta {
+		t.Fatalf("forced encode = %+v, want full", forced)
+	}
+	// A nil encoder passes snapshots through untouched.
+	var nilEnc *DeltaEncoder
+	s := r.Snapshot()
+	if nilEnc.Encode(s, false) != s {
+		t.Fatal("nil encoder not a passthrough")
+	}
+}
+
+// TestFederationRawDeltas drives the raw ingest path end to end: a full
+// snapshot then deltas merge into the rendered page (help preserved
+// from the base), malformed bytes fall back to the last good state, a
+// delta with no base still renders its own values, and a long
+// unscraped run of deltas collapses without losing the newest reading.
+func TestFederationRawDeltas(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("f_total", "Fed counter.", nil)
+	c.Add(3)
+	enc := NewDeltaEncoder(1 << 30) // never resync: every update past the first is a delta
+
+	fed := NewFederation()
+	at := time.Unix(3000, 0)
+	ship := func() {
+		t.Helper()
+		s := enc.Encode(r.Snapshot(), false)
+		if s == nil {
+			t.Fatal("expected a payload to ship")
+		}
+		data, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+		fed.UpdateRaw("w1", data, at)
+	}
+	render := func() string {
+		t.Helper()
+		var sb strings.Builder
+		if err := fed.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	ship() // full
+	c.Add(4)
+	r.Counter("f_new_total", "Late family.", nil).Inc()
+	ship() // delta: changed child + new family
+	page := render()
+	for _, want := range []string{
+		"# HELP f_total Fed counter.\n", // help survives delta merges
+		`f_total{instance="w1"} 7`,
+		`f_new_total{instance="w1"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("merged page missing %q:\n%s", want, page)
+		}
+	}
+
+	// Garbage on the wire keeps the last good state on the page.
+	fed.UpdateRaw("w1", []byte(`{"families":"nonsense"}`), at.Add(time.Minute))
+	fed.UpdateRaw("w1", []byte(`{nope`), at.Add(time.Minute))
+	if got := render(); got != page {
+		t.Fatalf("malformed raw changed the page:\n got %s\nwant %s", got, page)
+	}
+
+	// A delta with no base (coordinator restarted, worker reaped)
+	// renders what it carries rather than nothing.
+	orphan := &Snapshot{Delta: true, Families: []FamilySnapshot{{
+		Name: "o_total", Kind: "counter", Children: []ChildSnapshot{{Value: 5}},
+	}}}
+	data, err := orphan.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed.UpdateRaw("w2", data, at)
+	if page := render(); !strings.Contains(page, `o_total{instance="w2"} 5`) {
+		t.Fatalf("orphan delta not rendered:\n%s", page)
+	}
+
+	// Many deltas with no read in between: the chain collapses past
+	// maxFedChain and the newest value still wins.
+	for i := 0; i < 3*maxFedChain; i++ {
+		c.Inc()
+		ship()
+	}
+	snap, _, ok := fed.Info("w1")
+	if !ok {
+		t.Fatal("instance lost after delta flood")
+	}
+	if v, ok := snap.Total("f_total"); !ok || v != float64(7+3*maxFedChain) {
+		t.Fatalf("after delta flood Total = %v, %v; want %d", v, ok, 7+3*maxFedChain)
+	}
+}

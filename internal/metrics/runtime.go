@@ -1,0 +1,94 @@
+// Go runtime self-metrics: goroutine count, heap gauges, GC totals and
+// a GC pause histogram. Cluster workers register these so the
+// coordinator's federated scrape answers "which worker is hot or about
+// to die" without a per-worker exporter; dramdigd could register them
+// too, but its scrape already reflects load through the layer metrics.
+//
+// runtime.ReadMemStats stops the world, so one sampler caches the
+// reading briefly (runtimeSampleTTL) — a scrape touching several heap
+// gauges costs one stop-the-world, not one per family.
+
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampleTTL bounds how stale a cached MemStats reading may be.
+// Within one scrape every gauge sees the same sample; across scrapes
+// (heartbeats are hundreds of ms apart) the next reading is fresh.
+const runtimeSampleTTL = 100 * time.Millisecond
+
+// RegisterRuntime registers the process's Go runtime self-metrics on r:
+//
+//	dramdig_go_goroutines        gauge
+//	dramdig_go_heap_alloc_bytes  gauge
+//	dramdig_go_heap_objects     gauge
+//	dramdig_go_sys_bytes         gauge
+//	dramdig_go_gc_runs_total     counter
+//	dramdig_go_gc_pause_seconds  histogram
+//
+// A nil registry is a no-op. Registration is idempotent like every
+// other family.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &runtimeSampler{
+		pause: r.Histogram("dramdig_go_gc_pause_seconds",
+			"Stop-the-world GC pause durations, drained from the runtime's pause ring.",
+			ExpBuckets(1e-6, 4, 10), nil),
+	}
+	r.GaugeFunc("dramdig_go_goroutines",
+		"Goroutines currently live in this process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("dramdig_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(s.mem().HeapAlloc) })
+	r.GaugeFunc("dramdig_go_heap_objects",
+		"Allocated heap objects.", nil,
+		func() float64 { return float64(s.mem().HeapObjects) })
+	r.GaugeFunc("dramdig_go_sys_bytes",
+		"Total bytes obtained from the OS.", nil,
+		func() float64 { return float64(s.mem().Sys) })
+	r.CounterFunc("dramdig_go_gc_runs_total",
+		"Completed GC cycles.", nil,
+		func() float64 { return float64(s.mem().NumGC) })
+}
+
+// runtimeSampler caches one MemStats reading and feeds new GC pauses
+// into the pause histogram as they appear.
+type runtimeSampler struct {
+	mu     sync.Mutex
+	at     time.Time
+	ms     runtime.MemStats
+	seenGC uint32
+	pause  *Histogram
+}
+
+// mem returns a MemStats copy at most runtimeSampleTTL old, refreshing
+// (and draining newly completed GC pauses into the histogram) when the
+// cache has expired.
+func (s *runtimeSampler) mem() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if s.at.IsZero() || now.Sub(s.at) >= runtimeSampleTTL {
+		runtime.ReadMemStats(&s.ms)
+		s.at = now
+		// PauseNs is a ring of the last 256 pauses; pause k (1-based)
+		// lives at PauseNs[(k+255)%256]. Drain the cycles completed since
+		// the last sample, clamped to what the ring still holds.
+		start := s.seenGC + 1
+		if s.ms.NumGC > 255 && start < s.ms.NumGC-255 {
+			start = s.ms.NumGC - 255
+		}
+		for k := start; k <= s.ms.NumGC; k++ {
+			s.pause.Observe(float64(s.ms.PauseNs[(k+255)%256]) / 1e9)
+		}
+		s.seenGC = s.ms.NumGC
+	}
+	return s.ms
+}

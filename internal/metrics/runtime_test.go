@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegisterRuntime: the self-metric families render with live
+// values, and forced GC cycles reach the counter and pause histogram
+// once the sample cache expires.
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fam := range []string{
+		"# TYPE dramdig_go_goroutines gauge",
+		"# TYPE dramdig_go_heap_alloc_bytes gauge",
+		"# TYPE dramdig_go_heap_objects gauge",
+		"# TYPE dramdig_go_sys_bytes gauge",
+		"# TYPE dramdig_go_gc_runs_total counter",
+		"# TYPE dramdig_go_gc_pause_seconds histogram",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("scrape missing %q", fam)
+		}
+	}
+
+	snap := r.Snapshot()
+	if g, ok := snap.Total("dramdig_go_goroutines"); !ok || g < 1 {
+		t.Fatalf("goroutines = %v, %v", g, ok)
+	}
+	if h, ok := snap.Total("dramdig_go_heap_alloc_bytes"); !ok || h <= 0 {
+		t.Fatalf("heap_alloc_bytes = %v, %v", h, ok)
+	}
+	before, _ := snap.Total("dramdig_go_gc_runs_total")
+
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(runtimeSampleTTL + 20*time.Millisecond) // let the cached sample expire
+
+	// Snapshot walks families alphabetically, so the pause histogram is
+	// captured before any gauge func runs the sampler (which is what
+	// drains new pauses). Scrape once to drain, then read.
+	_ = r.Snapshot()
+	snap2 := r.Snapshot()
+	after, _ := snap2.Total("dramdig_go_gc_runs_total")
+	if after < before+2 {
+		t.Fatalf("gc_runs_total = %v after forced GCs (was %v)", after, before)
+	}
+	if pauses, ok := snap2.Total("dramdig_go_gc_pause_seconds"); !ok || pauses < 2 {
+		t.Fatalf("gc_pause_seconds count = %v, %v; want >= 2 observations", pauses, ok)
+	}
+
+	// Idempotent: a second registration neither panics nor duplicates.
+	RegisterRuntime(r)
+	if fams := r.Snapshot().Families; len(fams) != 6 {
+		t.Fatalf("families after re-registration = %d, want 6", len(fams))
+	}
+	RegisterRuntime(nil) // no-op
+}

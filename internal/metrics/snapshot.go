@@ -1,0 +1,451 @@
+// Snapshot/merge support: a Registry can export its current state as a
+// compact, JSON-encodable Snapshot, and a Federation re-renders
+// snapshots from many instances (cluster workers) as one exposition
+// page with an `instance` label injected on every sample. This is how
+// worker telemetry reaches the coordinator: workers piggyback a
+// snapshot on their existing heartbeat, the coordinator's Federation
+// keeps the latest per worker, and GET /v1/cluster/metrics renders the
+// fleet as if one registry had collected it all.
+//
+// Snapshots are values, not live views: histogram bucket counts are
+// copied non-cumulative (the wire shape stays small and mergeable) and
+// re-rendered cumulatively, exactly as WritePrometheus would. A worker
+// label named "instance" is preserved as "exported_instance" — the
+// Prometheus federation convention — so the injected label can never
+// collide.
+
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Snapshot is a registry's exported state: every family with its
+// children's current values. The JSON shape is the cluster heartbeat
+// payload; keep it backward-decodable (add fields, never repurpose).
+type Snapshot struct {
+	// Delta marks a change-only snapshot produced by a DeltaEncoder:
+	// Families holds just the children whose values moved since the
+	// sender's previous ship (help omitted), to be merged onto the
+	// receiver's last known state. False means the full registry state.
+	Delta    bool             `json:"delta,omitempty"`
+	Families []FamilySnapshot `json:"families,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a snapshot.
+type FamilySnapshot struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind string `json:"kind"` // "counter", "gauge" or "histogram"
+	// Buckets are the histogram upper bounds (+Inf implicit); empty for
+	// counters and gauges.
+	Buckets  []float64       `json:"buckets,omitempty"`
+	Children []ChildSnapshot `json:"children,omitempty"`
+}
+
+// ChildSnapshot is one labeled instance's values.
+type ChildSnapshot struct {
+	Labels Labels `json:"labels,omitempty"`
+	// Value carries a counter's or gauge's reading (including func
+	// children, evaluated at snapshot time).
+	Value float64 `json:"value,omitempty"`
+	// BucketCounts are per-bucket (non-cumulative) histogram counts,
+	// len(Buckets)+1 with the +Inf bucket last.
+	BucketCounts []uint64 `json:"bucket_counts,omitempty"`
+	Sum          float64  `json:"sum,omitempty"`
+	Count        uint64   `json:"count,omitempty"`
+}
+
+// Total sums the values of a counter or gauge family's children (and,
+// for histograms, their observation counts). The second return is false
+// when the snapshot has no family by that name.
+func (s *Snapshot) Total(name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for i := range s.Families {
+		f := &s.Families[i]
+		if f.Name != name {
+			continue
+		}
+		var total float64
+		for _, c := range f.Children {
+			if f.Kind == string(kindHistogram) {
+				total += float64(c.Count)
+			} else {
+				total += c.Value
+			}
+		}
+		return total, true
+	}
+	return 0, false
+}
+
+// Snapshot exports the registry's current state. Like WritePrometheus
+// it copies the family structure under the lock and reads the child
+// values (including GaugeFunc/CounterFunc callbacks) after releasing
+// it, so callbacks that take other components' locks cannot deadlock
+// against registration. Children are sorted by label signature, making
+// the snapshot deterministic for a given state. A nil registry returns
+// an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]famSnapshot, len(names))
+	buckets := make([][]float64, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = famSnapshot{
+			name:     f.name,
+			help:     f.help,
+			kind:     f.kind,
+			children: append([]*child(nil), f.children...),
+		}
+		buckets[i] = append([]float64(nil), f.buckets...)
+	}
+	r.mu.Unlock()
+
+	snap.Families = make([]FamilySnapshot, 0, len(fams))
+	for i, f := range fams {
+		fs := FamilySnapshot{
+			Name:    f.name,
+			Help:    f.help,
+			Kind:    string(f.kind),
+			Buckets: buckets[i],
+		}
+		children := append([]*child(nil), f.children...)
+		sort.Slice(children, func(a, b int) bool { return children[a].sig < children[b].sig })
+		for _, c := range children {
+			cs := ChildSnapshot{Labels: cloneLabels(c.labels)}
+			switch {
+			case c.fn != nil:
+				cs.Value = c.fn()
+			case c.counter != nil:
+				cs.Value = float64(c.counter.Value())
+			case c.gauge != nil:
+				cs.Value = float64(c.gauge.Value())
+			case c.hist != nil:
+				cs.BucketCounts = make([]uint64, len(c.hist.counts))
+				for k := range c.hist.counts {
+					cs.BucketCounts[k] = c.hist.counts[k].Load()
+				}
+				cs.Sum = c.hist.Sum()
+				cs.Count = c.hist.Count()
+			}
+			fs.Children = append(fs.Children, cs)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Federation holds the latest snapshot per instance and renders them
+// as one exposition page. Instances age out explicitly (Remove /
+// ExpireBefore) — the coordinator ties their lifetime to its worker
+// registry, so a reaped worker's metrics vanish with its ring
+// membership.
+type Federation struct {
+	mu        sync.Mutex
+	instances map[string]*fedEntry
+}
+
+type fedEntry struct {
+	raw   []byte    // undecoded snapshot bytes (nil once decoded)
+	snap  *Snapshot // decoded snapshot; lazily from raw
+	prev  *fedEntry // entry this one replaced — delta base and malformed fallback
+	depth int       // undecoded chain length behind this entry
+	at    time.Time
+}
+
+// snapshot returns the entry's decoded snapshot, decoding raw bytes on
+// first use. Decoding at read time keeps the heartbeat ingest path to a
+// byte copy; scrapes are rare, beats are not. A delta snapshot is
+// merged onto the previous entry's state; a malformed one is ignored in
+// favor of the last good one rather than blanking the instance. Callers
+// must hold the federation lock.
+func (e *fedEntry) snapshot() *Snapshot {
+	if e.snap != nil {
+		return e.snap
+	}
+	s := new(Snapshot)
+	if err := json.Unmarshal(e.raw, s); err != nil {
+		s = new(Snapshot)
+		if e.prev != nil {
+			s = e.prev.snapshot()
+		}
+	} else if s.Delta {
+		base := &Snapshot{}
+		if e.prev != nil {
+			base = e.prev.snapshot()
+		}
+		s = applyDelta(base, s)
+	}
+	e.snap, e.raw, e.prev, e.depth = s, nil, nil, 0
+	return e.snap
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{instances: make(map[string]*fedEntry)}
+}
+
+// Update records instance's latest snapshot, taken (or received) at at.
+// The federation keeps the snapshot pointer; callers must not mutate it
+// afterwards.
+func (f *Federation) Update(instance string, snap *Snapshot, at time.Time) {
+	if f == nil || instance == "" || snap == nil {
+		return
+	}
+	f.mu.Lock()
+	f.instances[instance] = &fedEntry{snap: snap, at: at}
+	f.mu.Unlock()
+}
+
+// maxFedChain bounds how many undecoded payloads a never-read instance
+// may accumulate before the federation collapses the chain eagerly —
+// the amortized cost of one decode every N beats instead of unbounded
+// memory on an unscraped coordinator.
+const maxFedChain = 64
+
+// UpdateRaw records instance's latest snapshot (full or delta) as
+// undecoded JSON bytes, deferring the decode to the next read
+// (WritePrometheus or Info). This is the heartbeat ingest path: the
+// coordinator receives a payload per beat per worker but renders the
+// page on the scrape interval, so paying the decode at read time takes
+// it off the cluster's hottest RPC. The bytes are copied; bytes that
+// fail to decode later are ignored in favor of the instance's previous
+// state, and delta payloads merge onto it.
+func (f *Federation) UpdateRaw(instance string, raw []byte, at time.Time) {
+	if f == nil || instance == "" || len(raw) == 0 {
+		return
+	}
+	e := &fedEntry{raw: append([]byte(nil), raw...), at: at}
+	f.mu.Lock()
+	if prev := f.instances[instance]; prev != nil {
+		e.prev = prev
+		if prev.snap == nil {
+			e.depth = prev.depth + 1
+		}
+		if e.depth >= maxFedChain {
+			e.snapshot()
+		}
+	}
+	f.instances[instance] = e
+	f.mu.Unlock()
+}
+
+// Remove drops one instance's snapshot; the return reports whether it
+// was present.
+func (f *Federation) Remove(instance string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.instances[instance]; !ok {
+		return false
+	}
+	delete(f.instances, instance)
+	return true
+}
+
+// ExpireBefore drops every instance whose snapshot is older than
+// cutoff and returns their names, sorted.
+func (f *Federation) ExpireBefore(cutoff time.Time) []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	var stale []string
+	for name, e := range f.instances {
+		if e.at.Before(cutoff) {
+			stale = append(stale, name)
+			delete(f.instances, name)
+		}
+	}
+	f.mu.Unlock()
+	sort.Strings(stale)
+	return stale
+}
+
+// Info returns one instance's latest snapshot and its timestamp.
+func (f *Federation) Info(instance string) (*Snapshot, time.Time, bool) {
+	if f == nil {
+		return nil, time.Time{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.instances[instance]
+	if !ok {
+		return nil, time.Time{}, false
+	}
+	return e.snapshot(), e.at, true
+}
+
+// Instances returns the federated instance names, sorted.
+func (f *Federation) Instances() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	names := make([]string, 0, len(f.instances))
+	for name := range f.instances {
+		names = append(names, name)
+	}
+	f.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// fedRow is one renderable sample set: a child with its instance label
+// already merged into the rendered signature.
+type fedRow struct {
+	instance string
+	sig      string
+	child    ChildSnapshot
+}
+
+// fedFamily is one merged family across instances.
+type fedFamily struct {
+	name    string
+	help    string
+	kind    string
+	buckets []float64
+	rows    []fedRow
+}
+
+// WritePrometheus renders every instance's snapshot as one exposition
+// page: families merged by name and sorted, children sorted by
+// (instance, labels), an `instance` label injected on every sample. A
+// family whose kind (or histogram buckets) conflicts across instances
+// renders the first contributor's shape — in sorted instance order, so
+// the output is deterministic — and skips the conflicting children. An
+// existing `instance` label on a child is preserved as
+// `exported_instance`.
+func (f *Federation) WritePrometheus(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	names := make([]string, 0, len(f.instances))
+	for name := range f.instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snaps := make([]*Snapshot, len(names))
+	for i, name := range names {
+		snaps[i] = f.instances[name].snapshot()
+	}
+	f.mu.Unlock()
+
+	merged := make(map[string]*fedFamily)
+	var order []string
+	for i, name := range names {
+		for fi := range snaps[i].Families {
+			fam := &snaps[i].Families[fi]
+			mf, ok := merged[fam.Name]
+			if !ok {
+				mf = &fedFamily{
+					name:    fam.Name,
+					help:    fam.Help,
+					kind:    fam.Kind,
+					buckets: fam.Buckets,
+				}
+				merged[fam.Name] = mf
+				order = append(order, fam.Name)
+			}
+			if mf.help == "" {
+				mf.help = fam.Help
+			}
+			if fam.Kind != mf.kind {
+				continue // kind conflict: first contributor wins
+			}
+			if mf.kind == string(kindHistogram) && !equalFloats(fam.Buckets, mf.buckets) {
+				continue // bucket conflict: first contributor wins
+			}
+			for _, c := range fam.Children {
+				mf.rows = append(mf.rows, fedRow{
+					instance: name,
+					sig:      instanceSignature(c.Labels, name),
+					child:    c,
+				})
+			}
+		}
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, famName := range order {
+		mf := merged[famName]
+		if mf.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", mf.name, strings.ReplaceAll(mf.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", mf.name, mf.kind)
+		sort.Slice(mf.rows, func(i, j int) bool {
+			if mf.rows[i].instance != mf.rows[j].instance {
+				return mf.rows[i].instance < mf.rows[j].instance
+			}
+			return mf.rows[i].sig < mf.rows[j].sig
+		})
+		for _, row := range mf.rows {
+			if mf.kind == string(kindHistogram) {
+				if len(row.child.BucketCounts) != len(mf.buckets)+1 {
+					continue // malformed child; never corrupt the page
+				}
+				var cum uint64
+				for k, bound := range mf.buckets {
+					cum += row.child.BucketCounts[k]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", mf.name, labelsWith(row.sig, "le", formatFloat(bound)), cum)
+				}
+				cum += row.child.BucketCounts[len(mf.buckets)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", mf.name, labelsWith(row.sig, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", mf.name, row.sig, formatFloat(row.child.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", mf.name, row.sig, row.child.Count)
+			} else {
+				fmt.Fprintf(&b, "%s%s %s\n", mf.name, row.sig, formatFloat(row.child.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// instanceSignature renders a child's labels with the federation's
+// instance label injected. A pre-existing "instance" label moves to
+// "exported_instance" so the injected one is authoritative.
+func instanceSignature(l Labels, instance string) string {
+	out := make(Labels, len(l)+1)
+	for k, v := range l {
+		if k == "instance" {
+			out["exported_instance"] = v
+			continue
+		}
+		out[k] = v
+	}
+	out["instance"] = instance
+	return labelSignature(out)
+}
+
+// Handler serves the federated exposition page — what the coordinator
+// mounts at /v1/cluster/metrics.
+func (f *Federation) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = f.WritePrometheus(w)
+	})
+}

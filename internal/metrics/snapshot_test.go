@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotExport: a snapshot carries every family kind with its
+// values, children sorted deterministically, and Total sums children.
+func TestSnapshotExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_requests_total", "Requests.", Labels{"route": "/b"}).Add(2)
+	r.Counter("s_requests_total", "Requests.", Labels{"route": "/a"}).Add(3)
+	r.Gauge("s_depth", "Depth.", nil).Set(7)
+	r.GaugeFunc("s_live", "Live.", nil, func() float64 { return 1.5 })
+	h := r.Histogram("s_lat_seconds", "Latency.", []float64{1, 2}, nil)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	snap := r.Snapshot()
+	if len(snap.Families) != 4 {
+		t.Fatalf("families = %d, want 4", len(snap.Families))
+	}
+	// Families sorted by name; children by label signature.
+	if snap.Families[0].Name != "s_depth" || snap.Families[3].Name != "s_requests_total" {
+		t.Fatalf("families not sorted: %+v", snap.Families)
+	}
+	req := snap.Families[3]
+	if req.Children[0].Labels["route"] != "/a" || req.Children[0].Value != 3 {
+		t.Fatalf("children not sorted by labels: %+v", req.Children)
+	}
+	if v, ok := snap.Total("s_requests_total"); !ok || v != 5 {
+		t.Fatalf("Total(s_requests_total) = %v, %v; want 5, true", v, ok)
+	}
+	if v, ok := snap.Total("s_live"); !ok || v != 1.5 {
+		t.Fatalf("Total(s_live) = %v, %v", v, ok)
+	}
+	if v, ok := snap.Total("s_lat_seconds"); !ok || v != 2 {
+		t.Fatalf("Total(s_lat_seconds) = %v, %v; want observation count 2", v, ok)
+	}
+	if _, ok := snap.Total("missing"); ok {
+		t.Fatal("Total(missing) reported present")
+	}
+	var hist *FamilySnapshot
+	for i := range snap.Families {
+		if snap.Families[i].Name == "s_lat_seconds" {
+			hist = &snap.Families[i]
+		}
+	}
+	c := hist.Children[0]
+	if len(c.BucketCounts) != 3 || c.BucketCounts[0] != 1 || c.BucketCounts[2] != 1 || c.Count != 2 || c.Sum != 3.5 {
+		t.Fatalf("histogram child = %+v", c)
+	}
+	// A nil registry snapshots to empty, not nil-panic.
+	var nilReg *Registry
+	if s := nilReg.Snapshot(); len(s.Families) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestFederationGolden locks the federated exposition output byte for
+// byte: instance-label injection, the exported_instance collision
+// rename, label-value escaping, two workers sharing a family name, a
+// kind conflict resolved deterministically, and a stale worker aged
+// out. The snapshots travel through JSON, as they do on the heartbeat
+// wire.
+func TestFederationGolden(t *testing.T) {
+	w1 := NewRegistry()
+	w1.Counter("app_requests_total", "HTTP requests.", Labels{"route": "/v1/x"}).Add(3)
+	h := w1.Histogram("app_latency_seconds", "Request latency.", []float64{1, 2}, nil)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	w1.Counter("esc_total", "Escaping.", Labels{"v": "a\"b\\c\nd"}).Inc()
+	w1.Counter("collide_total", "Instance-labeled already.", Labels{"instance": "w1-self"}).Add(7)
+	w1.Counter("mixed_total", "Mixed.", nil).Inc()
+
+	w2 := NewRegistry()
+	w2.Counter("app_requests_total", "HTTP requests.", nil).Add(10)
+	w2.Gauge("only_w2", "Only on w2.", nil).Set(4)
+	w2.Gauge("mixed_total_gauge_shadow", "", nil) // decoy; never rendered under mixed_total
+
+	fed := NewFederation()
+	base := time.Unix(1000, 0)
+	for name, reg := range map[string]*Registry{"w1": w1, "w2": w2} {
+		data, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatal(err)
+		}
+		fed.Update(name, &snap, base.Add(time.Minute))
+	}
+	// w2 also reports mixed_total as a gauge — a kind conflict. Sorted
+	// instance order makes w1's counter win, every render.
+	conflict := &Snapshot{Families: []FamilySnapshot{{
+		Name: "mixed_total", Kind: "gauge",
+		Children: []ChildSnapshot{{Value: 9}},
+	}}}
+	fed.Update("w2b", conflict, base.Add(time.Minute))
+	// A worker that went silent: its snapshot ages out with the registry.
+	fed.Update("w3-stale", &Snapshot{Families: []FamilySnapshot{{
+		Name: "app_requests_total", Kind: "counter",
+		Children: []ChildSnapshot{{Value: 999}},
+	}}}, base)
+
+	if stale := fed.ExpireBefore(base.Add(30 * time.Second)); len(stale) != 1 || stale[0] != "w3-stale" {
+		t.Fatalf("ExpireBefore = %v, want [w3-stale]", stale)
+	}
+
+	var sb strings.Builder
+	if err := fed.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{instance="w1",le="1"} 1
+app_latency_seconds_bucket{instance="w1",le="2"} 2
+app_latency_seconds_bucket{instance="w1",le="+Inf"} 3
+app_latency_seconds_sum{instance="w1"} 5
+app_latency_seconds_count{instance="w1"} 3
+# HELP app_requests_total HTTP requests.
+# TYPE app_requests_total counter
+app_requests_total{instance="w1",route="/v1/x"} 3
+app_requests_total{instance="w2"} 10
+# HELP collide_total Instance-labeled already.
+# TYPE collide_total counter
+collide_total{exported_instance="w1-self",instance="w1"} 7
+# HELP esc_total Escaping.
+# TYPE esc_total counter
+esc_total{instance="w1",v="a\"b\\c\nd"} 1
+# HELP mixed_total Mixed.
+# TYPE mixed_total counter
+mixed_total{instance="w1"} 1
+# TYPE mixed_total_gauge_shadow gauge
+mixed_total_gauge_shadow{instance="w2"} 0
+# HELP only_w2 Only on w2.
+# TYPE only_w2 gauge
+only_w2{instance="w2"} 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("federated exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Rendering twice is byte-identical — the determinism the golden
+	// output depends on.
+	var sb2 strings.Builder
+	if err := fed.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("two renders of the same federation differ")
+	}
+}
+
+// TestFederationLifecycle: Update/Remove/Info/Instances bookkeeping,
+// and nil-receiver safety.
+func TestFederationLifecycle(t *testing.T) {
+	fed := NewFederation()
+	at := time.Unix(2000, 0)
+	fed.Update("b", &Snapshot{}, at)
+	fed.Update("a", &Snapshot{Families: []FamilySnapshot{{Name: "x", Kind: "gauge"}}}, at.Add(time.Second))
+	if names := fed.Instances(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Instances = %v", names)
+	}
+	snap, when, ok := fed.Info("a")
+	if !ok || len(snap.Families) != 1 || !when.Equal(at.Add(time.Second)) {
+		t.Fatalf("Info(a) = %v, %v, %v", snap, when, ok)
+	}
+	if !fed.Remove("b") || fed.Remove("b") {
+		t.Fatal("Remove bookkeeping wrong")
+	}
+	if _, _, ok := fed.Info("b"); ok {
+		t.Fatal("removed instance still present")
+	}
+	// Empty instance names and nil snapshots are ignored, not stored.
+	fed.Update("", &Snapshot{}, at)
+	fed.Update("c", nil, at)
+	if names := fed.Instances(); len(names) != 1 {
+		t.Fatalf("Instances after bad updates = %v", names)
+	}
+	var nilFed *Federation
+	nilFed.Update("x", &Snapshot{}, at)
+	if nilFed.Remove("x") || nilFed.Instances() != nil {
+		t.Fatal("nil federation not a no-op")
+	}
+	if err := nilFed.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

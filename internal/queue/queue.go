@@ -132,6 +132,10 @@ type Job struct {
 	LeaseOwner           string `json:"lease_owner,omitempty"`
 	LeaseToken           string `json:"lease_token,omitempty"`
 	LeaseExpiresUnixNano int64  `json:"lease_expires_unix_nano,omitempty"`
+	// History records the job's lifecycle events in order (see Event).
+	// It is rebuilt identically by WAL replay and persisted through
+	// snapshot compaction, so a campaign timeline survives restarts.
+	History []Event `json:"history,omitempty"`
 
 	// syncPending marks a job whose submit record is written but not yet
 	// fsync'd; such jobs are invisible to Dequeue and Lease until the
@@ -141,7 +145,55 @@ type Job struct {
 
 func (j *Job) clone() Job {
 	c := *j
+	if len(j.History) > 0 {
+		c.History = append([]Event(nil), j.History...)
+	}
 	return c
+}
+
+// Event is one recorded entry of a job's history: what happened, when,
+// and — for lease-driven transitions — which worker was involved. The
+// daemon's campaign timeline endpoint merges these with span data into
+// one chronological view.
+type Event struct {
+	// Seq is the WAL sequence number of the mutation that produced the
+	// event — a total order even when timestamps tie.
+	Seq        uint64 `json:"seq"`
+	AtUnixNano int64  `json:"at_unix_nano,omitempty"`
+	Type       string `json:"type"`
+	// Worker is the lease owner that drove the event ("" for local
+	// scheduler transitions).
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Event types. Bare lease renewals are deliberately not recorded — at
+// TTL/3 cadence they would drown the history without adding lifecycle
+// information; a renewal that ships a checkpoint records EventCheckpoint.
+const (
+	EventSubmitted  = "submitted"
+	EventDequeued   = "dequeued" // local scheduler pickup
+	EventLeased     = "leased"   // remote worker pickup
+	EventCheckpoint = "checkpoint"
+	EventExpired    = "expired"
+	EventRequeued   = "requeued"
+	EventDone       = "done"
+	EventFailed     = "failed"
+	EventCancelled  = "cancelled"
+)
+
+// maxJobHistory bounds one job's recorded events. Past the cap the
+// oldest events after the submission are dropped — the submission
+// anchors the timeline, the tail keeps the recent lifecycle.
+const maxJobHistory = 512
+
+func (j *Job) recordEvent(ev Event) {
+	j.History = append(j.History, ev)
+	if len(j.History) > maxJobHistory {
+		copy(j.History[1:], j.History[2:])
+		j.History = j.History[:maxJobHistory]
+	}
 }
 
 // Sentinel errors. ErrFull means the pending backlog is at capacity;
@@ -267,6 +319,10 @@ type Queue struct {
 	// nil histogram is a no-op).
 	walAppend *metrics.Histogram
 	walFsync  *metrics.Histogram
+	// leaseWait observes submit→first-lease latency. It is computed from
+	// the persisted SubmittedUnixNano, so a job submitted before a daemon
+	// restart still reports its true wall-clock wait.
+	leaseWait *metrics.Histogram
 
 	ready chan struct{} // signaled (cap 1) when pending work appears
 }
@@ -294,6 +350,11 @@ type walRecord struct {
 	Owner        string `json:"owner,omitempty"`
 	Token        string `json:"token,omitempty"`
 	LeaseExpires int64  `json:"lease_expires,omitempty"`
+	// At stamps when the mutation happened (UnixNano) so replay rebuilds
+	// the same event history. Optional: journals written before event
+	// history existed replay with zero timestamps (submit events fall
+	// back to the job's SubmittedUnixNano).
+	At int64 `json:"at,omitempty"`
 }
 
 // snapshot is the compacted on-disk state: everything the WAL said, as
@@ -338,6 +399,9 @@ func Open(cfg Config) (*Queue, error) {
 			j.Recovered = true
 			j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = "", "", 0
 			q.requeued++
+			// Not a WAL mutation — the requeue event is persisted through
+			// the compaction below, like the state flip itself.
+			j.recordEvent(Event{Seq: q.seq, AtUnixNano: time.Now().UnixNano(), Type: EventRequeued, Attempt: j.Attempts, Detail: "recovered"})
 		}
 	}
 	q.pending = 0
@@ -477,6 +541,15 @@ func (q *Queue) applyLocked(rec walRecord) error {
 		if n := parseID(j.ID, q.cfg.IDPrefix); n >= q.nextID {
 			q.nextID = n
 		}
+		// Submit records predating the At field still anchor the
+		// timeline: the job carries its own submission stamp.
+		at := rec.At
+		if at == 0 {
+			at = j.SubmittedUnixNano
+		}
+		if len(j.History) == 0 {
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: at, Type: EventSubmitted})
+		}
 	case "state":
 		j, ok := q.jobs[rec.ID]
 		if !ok {
@@ -485,16 +558,26 @@ func (q *Queue) applyLocked(rec walRecord) error {
 		if j.State == StateSubmitted && rec.State != StateSubmitted {
 			q.pending--
 		}
+		// Attribute terminal events to the worker that held the lease;
+		// the lease fields are cleared below.
+		owner := j.LeaseOwner
 		j.State = rec.State
 		switch rec.State {
 		case StateRunning:
 			j.Attempts++
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventDequeued, Attempt: j.Attempts})
 		case StateDone:
 			j.Result = rec.Result
 			j.Checkpoint = nil
-		case StateFailed, StateCancelled:
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventDone, Worker: owner, Attempt: j.Attempts})
+		case StateFailed:
 			j.Error = rec.Error
 			j.Checkpoint = nil
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventFailed, Worker: owner, Attempt: j.Attempts, Detail: rec.Error})
+		case StateCancelled:
+			j.Error = rec.Error
+			j.Checkpoint = nil
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventCancelled, Worker: owner, Attempt: j.Attempts, Detail: rec.Error})
 		}
 		if rec.State.Terminal() {
 			j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = "", "", 0
@@ -507,6 +590,7 @@ func (q *Queue) applyLocked(rec walRecord) error {
 		}
 		j.State = StateCheckpointed
 		j.Checkpoint = rec.Checkpoint
+		j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventCheckpoint, Worker: j.LeaseOwner, Attempt: j.Attempts})
 	case "lease":
 		j, ok := q.jobs[rec.ID]
 		if !ok {
@@ -518,6 +602,7 @@ func (q *Queue) applyLocked(rec walRecord) error {
 		j.State = StateRunning
 		j.Attempts++
 		j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = rec.Owner, rec.Token, rec.LeaseExpires
+		j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventLeased, Worker: rec.Owner, Attempt: j.Attempts})
 	case "renew":
 		j, ok := q.jobs[rec.ID]
 		if !ok {
@@ -527,17 +612,26 @@ func (q *Queue) applyLocked(rec walRecord) error {
 		if len(rec.Checkpoint) > 0 {
 			j.State = StateCheckpointed
 			j.Checkpoint = rec.Checkpoint
+			// Bare renewals are not history-worthy (TTL/3 cadence would
+			// flood it); checkpoint-carrying ones are progress.
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventCheckpoint, Worker: j.LeaseOwner, Attempt: j.Attempts})
 		}
 	case "expire":
 		j, ok := q.jobs[rec.ID]
 		if !ok {
 			return fmt.Errorf("expire record %d for unknown job %s", rec.Seq, rec.ID)
 		}
-		if j.State.InFlight() {
+		owner := j.LeaseOwner
+		requeued := j.State.InFlight()
+		if requeued {
 			j.State = StateSubmitted
 			q.pending++
 		}
 		j.LeaseOwner, j.LeaseToken, j.LeaseExpiresUnixNano = "", "", 0
+		j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventExpired, Worker: owner, Attempt: j.Attempts})
+		if requeued {
+			j.recordEvent(Event{Seq: rec.Seq, AtUnixNano: rec.At, Type: EventRequeued, Attempt: j.Attempts})
+		}
 	default:
 		return fmt.Errorf("record %d has unknown op %q", rec.Seq, rec.Op)
 	}
@@ -749,7 +843,7 @@ func (q *Queue) Submit(payload json.RawMessage, opts SubmitOptions) (Job, bool, 
 		RequestID:         opts.RequestID,
 		syncPending:       q.wal != nil,
 	}
-	rec := walRecord{Seq: q.seq, Op: "submit", Job: &j}
+	rec := walRecord{Seq: q.seq, Op: "submit", Job: &j, At: now.UnixNano()}
 	if err := q.applyLocked(rec); err != nil {
 		q.mu.Unlock()
 		return Job{}, false, err
@@ -1009,6 +1103,11 @@ func (q *Queue) Lease(owner string, ttl time.Duration, prefer func(Job) bool) (J
 		return Job{}, false, err
 	}
 	out := pick.clone()
+	// First lease only: a re-lease after expiry or recovery would fold
+	// execution time into what is meant to be pure backlog wait.
+	if out.Attempts == 1 && out.SubmittedUnixNano > 0 {
+		q.leaseWait.Observe(time.Duration(time.Now().UnixNano() - out.SubmittedUnixNano).Seconds())
+	}
 	seq := q.seq
 	q.mu.Unlock()
 	if err := q.syncTo(seq); err != nil {
@@ -1151,6 +1250,9 @@ func (q *Queue) ExpireLeases(now time.Time) ([]Job, error) {
 func (q *Queue) transitionLocked(id string, rec walRecord) error {
 	q.seq++
 	rec.Seq, rec.ID = q.seq, id
+	if rec.At == 0 {
+		rec.At = time.Now().UnixNano()
+	}
 	if err := q.applyLocked(rec); err != nil {
 		return err
 	}
@@ -1166,6 +1268,18 @@ func (q *Queue) Get(id string) (Job, bool) {
 		return Job{}, false
 	}
 	return j.clone(), true
+}
+
+// History returns a copy of the job's recorded lifecycle events, in
+// order. The second return is false when the job is not retained.
+func (q *Queue) History(id string) ([]Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]Event(nil), j.History...), true
 }
 
 // Jobs returns copies of every retained job, in submission order.
@@ -1252,6 +1366,9 @@ func (q *Queue) RegisterMetrics(r *metrics.Registry) {
 		"WAL append latency (encode + write) per record; the fsync is group-committed separately.", walBuckets, nil)
 	q.walFsync = r.Histogram("dramdig_wal_fsync_seconds",
 		"WAL fsync latency per group commit (one flush may cover many records).", walBuckets, nil)
+	q.leaseWait = r.Histogram("dramdig_queue_lease_wait_seconds",
+		"Wall-clock wait from submission to first lease, from persisted submit stamps (restart-safe).",
+		metrics.ExpBuckets(1e-3, 4, 12), nil) // 1ms .. ~4.7h
 	q.mu.Unlock()
 }
 

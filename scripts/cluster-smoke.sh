@@ -135,5 +135,42 @@ for moved in \
          echo "$scrape" | grep '^dramdig_cluster' >&2; exit 1; }
 done
 
+# Fleet telemetry: every registry row reports liveness as an age (the
+# old last_seen_unix timestamp is gone), and the worker that ran the
+# job carries a metrics digest from its shipped snapshots.
+echo "$workers" | jq -e '[.workers[].last_heartbeat_age_ms] | all(. >= 0)' >/dev/null \
+  || { echo "cluster-smoke: bad last_heartbeat_age_ms: $workers" >&2; exit 1; }
+echo "$workers" | jq -e '[.workers[] | has("last_seen_unix")] | any | not' >/dev/null \
+  || { echo "cluster-smoke: last_seen_unix resurfaced: $workers" >&2; exit 1; }
+echo "$workers" | jq -e '[.workers[] | select(.completed > 0) | .metrics.engine_samples] | add > 0' >/dev/null \
+  || { echo "cluster-smoke: completing worker has no metrics digest: $workers" >&2; exit 1; }
+
+# The federated scrape re-renders the workers' snapshots with an
+# instance label per sample, and its engine totals agree with the
+# per-worker digests /v1/workers serves from the same snapshots.
+fed=$(curl -fsS "http://$ADDR/v1/cluster/metrics")
+echo "$fed" | grep -Eq '^dramdig_engine_samples_total\{instance="smoke-w[12]"\} [1-9]' \
+  || { echo "cluster-smoke: no instance-labeled engine samples in federation" >&2
+       echo "$fed" | head -40 >&2; exit 1; }
+echo "$fed" | grep -Eq '^dramdig_go_goroutines\{instance="smoke-w[12]"\} [1-9]' \
+  || { echo "cluster-smoke: no worker runtime self-metrics in federation" >&2; exit 1; }
+fed_samples=$(echo "$fed" | awk '/^dramdig_engine_samples_total\{/ {sum += $2} END {print sum+0}')
+digest_samples=$(echo "$workers" | jq '[.workers[].metrics.engine_samples // 0] | add')
+[ "$fed_samples" = "$digest_samples" ] \
+  || { echo "cluster-smoke: federated engine samples ($fed_samples) != worker digests ($digest_samples)" >&2; exit 1; }
+
+# The campaign timeline is one chronological view across both
+# processes: queue lifecycle events plus spans, worker-attributed.
+timeline=$(curl -fsS "http://$ADDR/v1/campaigns/$id/timeline")
+echo "$timeline" | jq -e '.events | length > 0' >/dev/null \
+  || { echo "cluster-smoke: empty timeline: $timeline" >&2; exit 1; }
+echo "$timeline" | jq -e '[.events[].at_unix_nano] | . == sort' >/dev/null \
+  || { echo "cluster-smoke: timeline not chronological" >&2; exit 1; }
+echo "$timeline" | jq -e '[.events[] | select(.source == "queue") | .type] | index("leased") != null and index("done") != null' >/dev/null \
+  || { echo "cluster-smoke: timeline missing queue lifecycle events" >&2; exit 1; }
+echo "$timeline" | jq -e '[.events[] | select(.source == "span" and (.worker | strings | startswith("smoke-w")))] | length > 0' >/dev/null \
+  || { echo "cluster-smoke: timeline has no worker-attributed span events" >&2; exit 1; }
+
 nspans=$(echo "$spans" | jq '[.. | objects | .name? // empty] | length')
-echo "cluster-smoke: ok (campaign $id completed once across 2 workers, $nspans spans on trace $TRACE_ID)"
+nevents=$(echo "$timeline" | jq '.events | length')
+echo "cluster-smoke: ok (campaign $id completed once across 2 workers, $nspans spans, $nevents timeline events on trace $TRACE_ID)"
