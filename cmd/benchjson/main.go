@@ -18,7 +18,12 @@
 // uninstrumented run, and the heartbeat rows (heartbeat_bare,
 // heartbeat_with_snapshot, heartbeat_snapshot_overhead) tracking what
 // piggybacking a worker's metrics snapshot on a lease heartbeat costs
-// over the bare renewal.
+// over the bare renewal, and the storage rows (store_put_flat,
+// store_put_segment, store_read_cached, store_gc_sweep,
+// store_put_overhead) tracking what the segment-based blob layout costs
+// on the persist path relative to the old one-file-per-record flat
+// layout (budget: a few percent), plus warm-cache read latency and GC
+// sweep throughput.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -37,9 +43,11 @@ import (
 	"dramdig"
 	"dramdig/internal/cluster"
 	"dramdig/internal/engine"
+	"dramdig/internal/machine"
 	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
 	"dramdig/internal/queue"
+	"dramdig/internal/store"
 	"dramdig/internal/trace"
 )
 
@@ -104,6 +112,10 @@ func main() {
 	run("queue_recover", benchQueueRecover)
 	run("heartbeat_bare", func(b *testing.B) { benchHeartbeat(b, false) })
 	run("heartbeat_with_snapshot", func(b *testing.B) { benchHeartbeat(b, true) })
+	run("store_put_flat", benchStorePutFlat)
+	run("store_put_segment", benchStorePutSegment)
+	run("store_read_cached", benchStoreReadCached)
+	run("store_gc_sweep", benchStoreGCSweep)
 
 	// BenchmarkEngineLiveVsReplay: one derived row so the JSON document
 	// tracks live-vs-trace-replay throughput directly across PRs. The
@@ -202,6 +214,32 @@ func main() {
 				"bare_ns_op":     hbBare.NsPerOp,
 				"snapshot_ns_op": hbSnap.NsPerOp,
 				"overhead_pct":   (hbSnap.NsPerOp/hbBare.NsPerOp - 1) * 100,
+			},
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "benchjson: %-22s overhead %+.2f%%\n",
+			row.Name, row.Metrics["overhead_pct"])
+	}
+
+	// store_put_overhead: what the segment-based blob layout costs on the
+	// persist path relative to the flat one-file-per-record layout it
+	// replaced (the seed's MarshalIndent + temp write + rename idiom).
+	// The refactor's contract is that this stays within a few percent —
+	// the appends amortize the directory churn the flat layout paid per
+	// record, so the overhead is usually negative.
+	flat, seg := byName("store_put_flat"), byName("store_put_segment")
+	switch {
+	case flat == nil || seg == nil || flat.NsPerOp <= 0:
+		fmt.Fprintln(os.Stderr, "benchjson: skipping store_put_overhead (inputs missing or degenerate)")
+	default:
+		row := benchResult{
+			Name:       "store_put_overhead",
+			Iterations: seg.Iterations,
+			NsPerOp:    seg.NsPerOp,
+			Metrics: map[string]float64{
+				"flat_ns_op":    flat.NsPerOp,
+				"segment_ns_op": seg.NsPerOp,
+				"overhead_pct":  (seg.NsPerOp/flat.NsPerOp - 1) * 100,
 			},
 		}
 		doc.Benchmarks = append(doc.Benchmarks, row)
@@ -584,6 +622,152 @@ func benchHeartbeat(b *testing.B, withSnapshot bool) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "beats/s")
+}
+
+// benchStoreRecord builds one valid store record; callers vary the
+// fingerprint per iteration to exercise the persist path.
+func benchStoreRecord(b *testing.B) store.Record {
+	b.Helper()
+	def, err := machine.ByNo(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(def, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := m.Truth()
+	return store.Record{
+		MachineName:        def.Name,
+		Mapping:            truth,
+		MappingFingerprint: truth.Fingerprint(),
+		Match:              true,
+		SimSeconds:         1.5,
+		Measurements:       100_000,
+	}
+}
+
+// benchStorePutFlat replays the pre-segment flat layout's persist idiom
+// — MarshalIndent, write a temp file, rename into `<fp>.json` — as the
+// baseline of the store_put_overhead comparison.
+func benchStorePutFlat(b *testing.B) {
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rec := benchStoreRecord(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rec
+		r.Fingerprint = fmt.Sprintf("%064x", i)
+		data, err := json.MarshalIndent(&r, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, r.Fingerprint+".json")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// benchStorePutSegment measures the same persist through the segment
+// blob layout: one Put per distinct fingerprint, appended to the active
+// segment.
+func benchStorePutSegment(b *testing.B) {
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	rec := benchStoreRecord(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rec
+		r.Fingerprint = fmt.Sprintf("%064x", i)
+		if err := st.Put(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// benchStoreReadCached measures a warm Get: the record is in the
+// memory LRU, so no segment read happens — the latency every repeat
+// GET /v1/mappings/{fp} pays.
+func benchStoreReadCached(b *testing.B) {
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	rec := benchStoreRecord(b)
+	rec.Fingerprint = fmt.Sprintf("%064x", 1)
+	if err := st.Put(&rec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := st.Get(rec.Fingerprint); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// benchStoreGCSweep measures a GC pass over a store holding orphaned
+// traces: every sweep tombstones the batch, fsyncs once, and compacts
+// the dead segments.
+func benchStoreGCSweep(b *testing.B) {
+	const orphans = 64
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	payload := bytes.Repeat([]byte("t"), 4096)
+	none := func() map[string]bool { return nil }
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < orphans; j++ {
+			fp := fmt.Sprintf("%056x%08x", i, j)
+			if err := st.PutTrace(fp, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		res, err := st.Sweep(ctx, none)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ReclaimedBlobs != orphans {
+			b.Fatalf("sweep reclaimed %d of %d orphans", res.ReclaimedBlobs, orphans)
+		}
+	}
+	b.ReportMetric(float64(orphans*b.N)/b.Elapsed().Seconds(), "blobs/s")
 }
 
 func fatal(err error) {

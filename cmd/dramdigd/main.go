@@ -10,6 +10,7 @@
 //	         [-workers N] [-retries N] [-max-running N] [-max-queued N] [-v]
 //	         [-pprof-addr :6060] [-log-format text|json] [-log-level info]
 //	         [-trace-spans N] [-trace-slow-threshold DUR]
+//	         [-store-max-bytes N] [-store-gc-interval 1m] [-store-gc-grace 5m]
 //	         [-dispatch local|remote] [-lease-ttl 30s] [-version]
 //
 // API (v1, the canonical surface):
@@ -58,6 +59,13 @@
 // recorder and its full timing channel persists content-addressed next
 // to the results — replay it offline with `tracectl replay`.
 //
+// Results and traces share one segment-based disk tier (see README
+// "Storage layer"): -store-max-bytes bounds its size with LRU eviction,
+// and a background GC (-store-gc-interval, -store-gc-grace) reclaims
+// traces whose jobs have been evicted from the queue and compacts dead
+// segments. Legacy flat-file cache directories migrate automatically on
+// first boot.
+//
 // Example:
 //
 //	curl -s localhost:8080/v1/campaigns -H 'Idempotency-Key: nightly-42' -d '{"machines":[-1],"seed":42}'
@@ -96,7 +104,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		cacheDir   = flag.String("cache-dir", "", "persist results as JSON under this directory (empty: memory only)")
+		cacheDir   = flag.String("cache-dir", "", "persist results under this directory's segment blob store (empty: memory only)")
 		traceDir   = flag.String("trace-dir", "", "record every job's timing trace under this directory (empty: tracing off)")
 		queueDir   = flag.String("queue-dir", "", "persist the job queue (WAL + snapshots) under this directory (empty: memory only, no crash recovery)")
 		maxEntries = flag.Int("cache-entries", 128, "in-memory LRU capacity")
@@ -110,6 +118,9 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		traceSpans = flag.Int("trace-spans", 4096, "finished request spans retained in memory (0 disables tracing)")
 		traceSlow  = flag.Duration("trace-slow-threshold", 0, "promote spans at least this long to WARN log lines (0: off)")
+		storeMax   = flag.Int64("store-max-bytes", 0, "bound the result/trace disk tier to this many segment bytes, evicting LRU blobs past it (0: unbounded)")
+		gcInterval = flag.Duration("store-gc-interval", time.Minute, "how often the store GC reclaims orphaned traces and compacts segments (0: GC off)")
+		gcGrace    = flag.Duration("store-gc-grace", 5*time.Minute, "how long a freshly written blob is exempt from orphan reclamation")
 		dispatch   = flag.String("dispatch", "local", "campaign execution mode: local (in-process scheduler) or remote (cluster workers lease jobs via /v1/cluster)")
 		leaseTTL   = flag.Duration("lease-ttl", defaultLeaseTTL, "cluster lease heartbeat deadline; a silent worker loses its job after this long")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -134,10 +145,17 @@ func main() {
 		fatal(err)
 	}
 
-	st, err := store.Open(store.Config{Dir: *cacheDir, TraceDir: *traceDir, MaxEntries: *maxEntries})
+	st, err := store.Open(store.Config{
+		Dir:        *cacheDir,
+		TraceDir:   *traceDir,
+		MaxEntries: *maxEntries,
+		MaxBytes:   *storeMax,
+		GCGrace:    *gcGrace,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	defer st.Close()
 	q, err := queue.Open(queue.Config{Dir: *queueDir, Capacity: *maxQueued})
 	if err != nil {
 		fatal(err)
@@ -173,6 +191,7 @@ func main() {
 		tracer:     tracer,
 		dispatch:   *dispatch,
 		leaseTTL:   *leaseTTL,
+		gcInterval: *gcInterval,
 	})
 	httpSrv := &http.Server{
 		Addr:        *addr,

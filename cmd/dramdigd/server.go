@@ -79,6 +79,11 @@ type serverConfig struct {
 	// leaseTTL is the cluster heartbeat deadline (default 30s): a worker
 	// silent past it loses the lease and the job requeues.
 	leaseTTL time.Duration
+	// gcInterval runs the store's garbage collector this often: orphaned
+	// traces (jobs evicted from the queue) are reclaimed, the
+	// -store-max-bytes bound is enforced and dead segments compacted.
+	// 0 disables background GC.
+	gcInterval time.Duration
 }
 
 // server is the daemon's handler. Campaigns run asynchronously on the
@@ -108,6 +113,11 @@ type server struct {
 	cl *clusterState
 	// runCampaign is campaign.Run, injectable for handler tests.
 	runCampaign func(context.Context, []campaign.Spec, campaign.Config) (*campaign.Report, error)
+
+	// fpCache memoizes each retained job's machine fingerprints for the
+	// store GC's referenced-set computation (see referencedFingerprints).
+	fpMu    sync.Mutex
+	fpCache map[string][]string
 
 	mu        sync.Mutex
 	running   int
@@ -212,6 +222,7 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 		ids:         logging.NewIDGen(),
 		runCampaign: campaign.Run,
 		campaigns:   make(map[string]*campaignState),
+		fpCache:     make(map[string][]string),
 		slotFree:    make(chan struct{}, 1),
 		tracer:      cfg.tracer,
 	}
@@ -286,7 +297,50 @@ func newServer(baseCtx context.Context, st *store.Store, q *queue.Queue, cfg ser
 		go s.schedule()
 	}
 	go s.sweepLeases()
+	if cfg.gcInterval > 0 {
+		// The store GC reaps traces whose jobs the queue no longer
+		// retains; every retained job's machine fingerprints stay pinned.
+		gctx := baseCtx
+		if s.tracer != nil {
+			gctx = obs.WithTracer(gctx, s.tracer)
+		}
+		s.st.StartGC(gctx, cfg.gcInterval, s.referencedFingerprints)
+	}
 	return s
+}
+
+// referencedFingerprints returns every machine fingerprint reachable
+// from a job the queue still retains — the set the store GC must not
+// reclaim artifacts for. Specs are rebuilt from job payloads at most
+// once per job (memoized by job ID; entries for evicted jobs are pruned
+// on the next call, which is exactly when their traces become orphans).
+func (s *server) referencedFingerprints() map[string]bool {
+	jobs := s.q.Jobs()
+	refs := make(map[string]bool)
+	live := make(map[string]bool, len(jobs))
+	s.fpMu.Lock()
+	defer s.fpMu.Unlock()
+	for _, job := range jobs {
+		live[job.ID] = true
+		fps, ok := s.fpCache[job.ID]
+		if !ok {
+			specList, _ := s.specsFromPayload(job.Payload)
+			fps = make([]string, 0, len(specList))
+			for _, spec := range specList {
+				fps = append(fps, spec.MachineFingerprint())
+			}
+			s.fpCache[job.ID] = fps
+		}
+		for _, fp := range fps {
+			refs[fp] = true
+		}
+	}
+	for id := range s.fpCache {
+		if !live[id] {
+			delete(s.fpCache, id)
+		}
+	}
+	return refs
 }
 
 // deprecated marks an unversioned alias: the handler answers as before,
@@ -1317,10 +1371,24 @@ func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleGetMapping serves a cached mapping by machine fingerprint. The
+// resource is content-addressed and immutable, so the fingerprint itself
+// is the ETag: a client revalidating with If-None-Match gets 304 without
+// the store (or the disk) being consulted at all — if the client holds a
+// representation of this fingerprint, it is by construction current.
+// Cold misses are absorbed by the store's bounded negative-lookup cache,
+// so repeated probes for unknown fingerprints stay off the disk too.
 func (s *server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
 	if !store.ValidFingerprint(fp) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "malformed fingerprint %q", fp)
+		return
+	}
+	etag := `"` + fp + `"`
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "max-age=31536000, immutable")
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	rec, ok, err := s.st.Get(fp)
@@ -1332,7 +1400,26 @@ func (s *server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no mapping for %s", fp)
 		return
 	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "max-age=31536000, immutable")
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// etagMatch implements If-None-Match comparison: a comma-separated list
+// of entity tags, "*" matching anything, weak prefixes compared
+// weakly (fine for an immutable resource).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -8,11 +8,11 @@
 // latest checkpoint, and the scheduler resumes them instead of losing
 // them.
 //
-// Durability follows the internal/store disk idiom: the WAL is an
-// append-only file of JSON lines, fsync'd before a mutation is
+// Durability is built on internal/storage: the WAL is an append-only
+// file of JSON lines (storage.AppendLog), fsync'd before a mutation is
 // acknowledged; periodically (and on every Open and Close) the whole
-// queue state is compacted into a snapshot written atomically (temp
-// file + fsync + rename) and the WAL is truncated. Recovery loads the
+// queue state is compacted into a snapshot written atomically
+// (storage.WriteFileAtomic) and the WAL is reset. Recovery loads the
 // snapshot, replays WAL records with newer sequence numbers, and
 // tolerates a torn final line — the one write a crash can actually
 // tear. Concurrent mutations group-commit: records are written under
@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"dramdig/internal/metrics"
+	"dramdig/internal/storage"
 )
 
 // State is a job's position in the lifecycle.
@@ -294,8 +295,8 @@ type Queue struct {
 	pending int               // jobs in StateSubmitted (capacity check is O(1))
 	seq     uint64            // last assigned WAL sequence number
 	nextID  uint64
-	wal     *os.File // nil in memory mode
-	walLen  int      // records since last compaction
+	wal     *storage.AppendLog // nil in memory mode
+	walLen  int                // records since last compaction
 	closed  bool
 
 	// Group-commit state. Records are written to the WAL under q.mu but
@@ -410,41 +411,20 @@ func Open(cfg Config) (*Queue, error) {
 			q.pending++
 		}
 	}
-	// Persist the recovered view and start from a clean WAL.
-	if err := q.compactLocked(); err != nil {
-		return nil, err
-	}
-	f, err := os.OpenFile(filepath.Join(cfg.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := storage.OpenAppendLog(filepath.Join(cfg.Dir, walName))
 	if err != nil {
 		return nil, fmt.Errorf("queue: %w", err)
 	}
-	if err := syncDir(cfg.Dir); err != nil {
-		f.Close()
+	q.wal = wal
+	// Persist the recovered view and start from a clean WAL.
+	if err := q.compactLocked(); err != nil {
+		wal.Close()
 		return nil, err
 	}
-	q.wal = f
 	if q.pending > 0 {
 		q.wake()
 	}
 	return q, nil
-}
-
-// syncDir fsyncs a directory, making renames, truncations and file
-// creations inside it durable against power loss — process death alone
-// never needs this, but the WAL's crash-safety claim covers both.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("queue: %w", err)
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("queue: %w", err)
-	}
-	return nil
 }
 
 // recover loads the snapshot and replays the WAL into memory.
@@ -702,9 +682,9 @@ func (q *Queue) syncTo(seq uint64) error {
 	return nil
 }
 
-// compactLocked writes the full state as a snapshot, atomically: temp
-// file, fsync, rename — the internal/store idiom — then truncates the
-// WAL, whose records are all ≤ the snapshot's sequence number.
+// compactLocked writes the full state as an atomic, durable snapshot
+// (storage.WriteFileAtomic), then resets the WAL, whose records are all
+// ≤ the snapshot's sequence number.
 func (q *Queue) compactLocked() error {
 	if q.cfg.Dir == "" {
 		return nil
@@ -717,38 +697,16 @@ func (q *Queue) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("queue: encode snapshot: %w", err)
 	}
-	path := filepath.Join(q.cfg.Dir, snapshotName)
-	tmp, err := os.CreateTemp(q.cfg.Dir, snapshotName+".tmp*")
-	if err != nil {
-		return fmt.Errorf("queue: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("queue: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("queue: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("queue: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("queue: %w", err)
+	if err := storage.WriteFileAtomic(filepath.Join(q.cfg.Dir, snapshotName), data, 0o644); err != nil {
+		return fmt.Errorf("queue: snapshot: %w", err)
 	}
 	// The snapshot now covers every WAL record; a crash between the
-	// rename and this truncate is safe because replay skips records with
-	// seq ≤ the snapshot's.
-	if err := os.Truncate(filepath.Join(q.cfg.Dir, walName), 0); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("queue: %w", err)
-	}
-	// Make the rename and the truncation power-loss durable.
-	if err := syncDir(q.cfg.Dir); err != nil {
-		return err
+	// snapshot landing and this reset is safe because replay skips
+	// records with seq ≤ the snapshot's.
+	if q.wal != nil {
+		if err := q.wal.Reset(); err != nil {
+			return fmt.Errorf("queue: %w", err)
+		}
 	}
 	q.walLen = 0
 	q.compactions++

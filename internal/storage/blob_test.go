@@ -1,0 +1,423 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, opts Options) *BlobStore {
+	t.Helper()
+	opts.Dir = dir
+	bs, err := OpenBlobStore(opts)
+	if err != nil {
+		t.Fatalf("OpenBlobStore: %v", err)
+	}
+	t.Cleanup(func() { bs.Close() })
+	return bs
+}
+
+func mustGet(t *testing.T, bs *BlobStore, key string) []byte {
+	t.Helper()
+	data, ok, err := bs.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	if !ok {
+		t.Fatalf("Get(%q): missing", key)
+	}
+	return data
+}
+
+func TestBlobRoundtrip(t *testing.T) {
+	bs := openTest(t, t.TempDir(), Options{})
+	if err := bs.Put("result/aa", []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got := mustGet(t, bs, "result/aa"); string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if size, ok := bs.Stat("result/aa"); !ok || size != 5 {
+		t.Fatalf("Stat = %d,%v", size, ok)
+	}
+	if _, ok, _ := bs.Get("result/bb"); ok {
+		t.Fatal("phantom key")
+	}
+	// Replace wins.
+	if err := bs.Put("result/aa", []byte("world!")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got := mustGet(t, bs, "result/aa"); string(got) != "world!" {
+		t.Fatalf("after replace got %q", got)
+	}
+	if bs.Len() != 1 {
+		t.Fatalf("Len = %d", bs.Len())
+	}
+	if err := bs.Delete("result/aa"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok, _ := bs.Get("result/aa"); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestBlobSegmentRollAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{SegmentBytes: 512})
+	payload := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 40; i++ {
+		if err := bs.Put(fmt.Sprintf("k%02d", i), payload); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if bs.Segments() < 3 {
+		t.Fatalf("expected multiple segments, got %d", bs.Segments())
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re := openTest(t, dir, Options{SegmentBytes: 512})
+	if re.Len() != 40 {
+		t.Fatalf("reopen Len = %d", re.Len())
+	}
+	for i := 0; i < 40; i++ {
+		if got := mustGet(t, re, fmt.Sprintf("k%02d", i)); !bytes.Equal(got, payload) {
+			t.Fatalf("blob %d mismatch after reopen", i)
+		}
+	}
+}
+
+func TestBlobTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{})
+	if err := bs.Put("alive", []byte("data")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate a crash mid-append: garbage on the tail of the newest segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	newest := segs[len(segs)-1]
+	f, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, _ := encodeRecord(recBlob, "torn", []byte("partial-record"))
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openTest(t, dir, Options{})
+	if got := mustGet(t, re, "alive"); string(got) != "data" {
+		t.Fatalf("lost blob across torn tail: %q", got)
+	}
+	if _, ok, _ := re.Get("torn"); ok {
+		t.Fatal("torn record must not surface")
+	}
+	// The torn bytes must be gone so appends land on a clean boundary.
+	if err := re.Put("after", []byte("ok")); err != nil {
+		t.Fatalf("Put after truncate: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2 := openTest(t, dir, Options{})
+	if string(mustGet(t, re2, "after")) != "ok" {
+		t.Fatal("append after torn-tail truncate did not survive")
+	}
+}
+
+func TestBlobTornSealedSegmentIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{SegmentBytes: 256})
+	payload := bytes.Repeat([]byte("y"), 100)
+	for i := 0; i < 10; i++ {
+		if err := bs.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bs.Segments() < 2 {
+		t.Fatalf("need a sealed segment, have %d", bs.Segments())
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	// Flip a byte in the middle of the oldest (sealed) segment.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBlobStore(Options{Dir: dir, SegmentBytes: 256}); err == nil {
+		t.Fatal("corrupt sealed segment must fail Open")
+	} else if !strings.Contains(err.Error(), "torn record") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBlobTombstoneSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{})
+	if err := bs.Put("gone", []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Put("kept", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	// Phase one only: tombstone appended, no compaction before "crash".
+	if err := bs.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openTest(t, dir, Options{})
+	if _, ok, _ := re.Get("gone"); ok {
+		t.Fatal("tombstoned blob resurrected on reopen")
+	}
+	if string(mustGet(t, re, "kept")) != "hi" {
+		t.Fatal("live blob lost")
+	}
+}
+
+func TestBlobDuplicateRecordsAfterInterruptedCompaction(t *testing.T) {
+	// A crash between compaction's copy-into-active and the removal of
+	// the old segment leaves the same key in two segments. Replay must
+	// keep exactly one live copy (the later one) and not error.
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{})
+	if err := bs.Put("dup", []byte("old-copy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	newest := segs[len(segs)-1]
+	var maxID uint64
+	fmt.Sscanf(strings.TrimSuffix(filepath.Base(newest), segSuffix), "%d", &maxID)
+	rec, _ := encodeRecord(recBlob, "dup", []byte("new-copy"))
+	if err := os.WriteFile(segmentPath(dir, maxID+1), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openTest(t, dir, Options{})
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", re.Len())
+	}
+	if got := mustGet(t, re, "dup"); string(got) != "new-copy" {
+		t.Fatalf("later copy must win, got %q", got)
+	}
+}
+
+func TestBlobMaxBytesEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{MaxBytes: 64 << 10})
+	payload := bytes.Repeat([]byte("z"), 1024)
+	for i := 0; i < 200; i++ {
+		if err := bs.Put(fmt.Sprintf("blob/%03d", i), payload); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		if db := bs.DiskBytes(); db > 64<<10 {
+			t.Fatalf("disk bytes %d over bound after put %d", db, i)
+		}
+	}
+	if bs.Len() >= 200 {
+		t.Fatal("nothing evicted")
+	}
+	if st := bs.Stats(); st.Evicted == 0 {
+		t.Fatal("evicted counter did not move")
+	}
+	// Most recent blob must still be there; the oldest must be gone.
+	if _, ok, _ := bs.Get("blob/199"); !ok {
+		t.Fatal("most recent blob evicted")
+	}
+	if _, ok, _ := bs.Get("blob/000"); ok {
+		t.Fatal("oldest blob survived the bound")
+	}
+	// The bound must hold across a reopen too.
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openTest(t, dir, Options{MaxBytes: 64 << 10})
+	if db := re.DiskBytes(); db > 64<<10 {
+		t.Fatalf("disk bytes %d over bound after reopen", db)
+	}
+	if _, ok, _ := re.Get("blob/199"); !ok {
+		t.Fatal("recent blob lost across reopen")
+	}
+}
+
+func TestBlobSweepReclaimsAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	bs := openTest(t, dir, Options{SegmentBytes: 2048})
+	payload := bytes.Repeat([]byte("w"), 512)
+	for i := 0; i < 20; i++ {
+		prefix := "keep/"
+		if i%2 == 0 {
+			prefix = "dead/"
+		}
+		if err := bs.Put(fmt.Sprintf("%s%02d", prefix, i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := bs.DiskBytes()
+	res, err := bs.Sweep(context.Background(), func(key string, age time.Duration) bool {
+		return strings.HasPrefix(key, "dead/")
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if res.ReclaimedBlobs != 10 {
+		t.Fatalf("reclaimed %d blobs, want 10", res.ReclaimedBlobs)
+	}
+	if res.ReclaimedBytes != 10*512 {
+		t.Fatalf("reclaimed %d bytes", res.ReclaimedBytes)
+	}
+	if bs.DiskBytes() >= before {
+		t.Fatalf("compaction did not shrink disk: %d -> %d", before, bs.DiskBytes())
+	}
+	for i := 1; i < 20; i += 2 {
+		if _, ok, _ := bs.Get(fmt.Sprintf("keep/%02d", i)); !ok {
+			t.Fatalf("keep/%02d lost by sweep", i)
+		}
+	}
+	if st := bs.Stats(); st.Sweeps != 1 || st.ReclaimedBlobs != 10 || st.Compactions == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Everything must still be intact after a reopen (phase two durable).
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openTest(t, dir, Options{SegmentBytes: 2048})
+	if re.Len() != 10 {
+		t.Fatalf("reopen Len = %d, want 10", re.Len())
+	}
+}
+
+func TestBlobSweepGracePeriod(t *testing.T) {
+	bs := openTest(t, t.TempDir(), Options{})
+	if err := bs.Put("young", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := bs.Sweep(context.Background(), func(key string, age time.Duration) bool {
+		return age > time.Hour // nothing is that old
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := bs.Get("young"); !ok {
+		t.Fatal("blob inside grace period reclaimed")
+	}
+}
+
+func TestBlobIterate(t *testing.T) {
+	bs := openTest(t, t.TempDir(), Options{})
+	for _, k := range []string{"trace/b", "result/a", "trace/a", "result/c"} {
+		if err := bs.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	if err := bs.Iterate("trace/", func(in BlobInfo) error {
+		got = append(got, in.Key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "trace/a" || got[1] != "trace/b" {
+		t.Fatalf("Iterate = %v", got)
+	}
+	var all []string
+	if err := bs.Iterate("", func(in BlobInfo) error {
+		all = append(all, in.Key)
+		if in.Size != int64(len(in.Key)) {
+			t.Fatalf("size mismatch for %s", in.Key)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("full Iterate saw %d keys", len(all))
+	}
+	sentinel := fmt.Errorf("stop")
+	n := 0
+	err := bs.Iterate("", func(BlobInfo) error {
+		n++
+		return sentinel
+	})
+	if err != sentinel || n != 1 {
+		t.Fatalf("early-stop: err=%v n=%d", err, n)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2-longer" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %d entries", len(ents))
+	}
+}
+
+func TestAppendLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := OpenAppendLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Write([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "one\ntwo\n" {
+		t.Fatalf("log = %q", data)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("Reset left %d bytes", fi.Size())
+	}
+	if _, err := l.Write([]byte("three\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "three\n" {
+		t.Fatalf("after reset log = %q", data)
+	}
+}

@@ -1,0 +1,115 @@
+// Package storage is the shared durability layer under the result store
+// and the job queue. It owns every temp-file/rename/fsync idiom in the
+// tree: callers describe *what* must survive a crash (an atomic snapshot,
+// an append-only log, a content-addressed blob) and storage decides how
+// the bytes reach disk.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably replaces path with data using the
+// temp-file → fsync → rename → dir-fsync idiom. After it returns nil,
+// a crash at any point leaves either the old content or the new content
+// at path, never a torn mix.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: chmod temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: rename: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so that a rename, create, or remove inside
+// it is durable. Errors from platforms that refuse to fsync directories
+// are reported as-is; callers on Linux can treat any error as fatal.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// RemoveDurable removes path and fsyncs its parent directory so the
+// deletion survives a crash. A missing file is not an error.
+func RemoveDurable(path string) error {
+	if err := os.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("storage: remove: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// AppendLog is an append-only log file with explicit sync points — the
+// shape a write-ahead log wants. Opening it creates the file if needed
+// and makes the creation durable.
+type AppendLog struct {
+	f *os.File
+}
+
+// OpenAppendLog opens (creating if absent) an append-only log at path.
+func OpenAppendLog(path string) (*AppendLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &AppendLog{f: f}, nil
+}
+
+// Write appends p to the log. The bytes are not durable until Sync.
+func (l *AppendLog) Write(p []byte) (int, error) { return l.f.Write(p) }
+
+// Sync makes all previously written bytes durable.
+func (l *AppendLog) Sync() error { return l.f.Sync() }
+
+// Reset truncates the log to zero length and makes the truncation
+// durable. Used after the logged state has been captured in a snapshot.
+func (l *AppendLog) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: truncate log: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file without an implicit sync.
+func (l *AppendLog) Close() error { return l.f.Close() }

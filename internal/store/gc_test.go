@@ -1,0 +1,369 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dramdig/internal/storage"
+)
+
+func writeFlatRecord(t *testing.T, dir, fingerprint string) {
+	t.Helper()
+	data, err := json.MarshalIndent(testRecord(t, fingerprint), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fingerprint+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMigratesFlatLayout(t *testing.T) {
+	dir := t.TempDir()
+	writeFlatRecord(t, dir, fp(1))
+	writeFlatRecord(t, dir, fp(2))
+	tracePayload := []byte("DRTR-legacy-trace")
+	if err := os.WriteFile(filepath.Join(dir, fp(1)+".trace"), tracePayload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Junk that must not migrate or break Open.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open over flat layout: %v", err)
+	}
+	defer s.Close()
+	for i := 1; i <= 2; i++ {
+		rec, ok, err := s.Get(fp(i))
+		if err != nil || !ok {
+			t.Fatalf("record %d after migration: ok=%v err=%v", i, ok, err)
+		}
+		if rec.Fingerprint != fp(i) {
+			t.Fatalf("record %d keyed %s", i, rec.Fingerprint)
+		}
+	}
+	got, ok, err := s.GetTrace(fp(1))
+	if err != nil || !ok || string(got) != string(tracePayload) {
+		t.Fatalf("trace after migration: %q ok=%v err=%v", got, ok, err)
+	}
+	// Flat files are gone; segments and the junk file remain.
+	for _, name := range []string{fp(1) + ".json", fp(2) + ".json", fp(1) + ".trace"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("flat file %s survived migration", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "segments")); err != nil {
+		t.Fatalf("no segments directory: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatalf("unrelated file disturbed: %v", err)
+	}
+}
+
+func TestStoreCrashDuringMigration(t *testing.T) {
+	// A crash mid-migration leaves some records in both layouts (the blob
+	// copy is written before the flat file is removed) and possibly a torn
+	// tail on the active segment. Reopening must serve every record and
+	// re-run the migration idempotently.
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord(t, fp(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace(fp(1), []byte("trace-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Record 1 exists in segments AND again as a flat file (migration
+	// copied it but crashed before the remove)...
+	writeFlatRecord(t, dir, fp(1))
+	// ...record 2 only as a flat file (its migration never started)...
+	writeFlatRecord(t, dir, fp(2))
+	// ...and the crash tore the tail of the active segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "segments", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x62torn-partial")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after migration crash: %v", err)
+	}
+	defer re.Close()
+	for i := 1; i <= 2; i++ {
+		if _, ok, err := re.Get(fp(i)); err != nil || !ok {
+			t.Fatalf("record %d lost across migration crash: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if got, ok, err := re.GetTrace(fp(1)); err != nil || !ok || string(got) != "trace-one" {
+		t.Fatalf("trace lost across migration crash: %q ok=%v err=%v", got, ok, err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fp(i)+".json")); !os.IsNotExist(err) {
+			t.Fatalf("flat file %d survived re-migration", i)
+		}
+	}
+}
+
+func TestStoreGCReapsOrphanedTraces(t *testing.T) {
+	// Regression for the orphaned-trace leak: a trace written for a job
+	// later evicted from the queue must be reclaimed, while a trace whose
+	// job is still retained must never be.
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	orphan, kept := fp(1), fp(2)
+	if err := s.PutTrace(orphan, []byte("orphaned-trace-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace(kept, []byte("referenced-trace-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord(t, orphan)); err != nil { // results are never orphan-reaped
+		t.Fatal(err)
+	}
+	res, err := s.Sweep(context.Background(), func() map[string]bool {
+		return map[string]bool{kept: true}
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if res.ReclaimedBlobs != 1 {
+		t.Fatalf("reclaimed %d blobs, want 1", res.ReclaimedBlobs)
+	}
+	if _, ok, _ := s.GetTrace(orphan); ok {
+		t.Fatal("orphaned trace survived GC")
+	}
+	if _, ok, _ := s.GetTrace(kept); !ok {
+		t.Fatal("referenced trace reaped by GC")
+	}
+	if _, ok, _ := s.Get(orphan); !ok {
+		t.Fatal("result record reaped by orphan GC")
+	}
+	if st := s.StatsSnapshot(); st.GCRuns != 1 || st.GCReclaimedBlobs != 1 {
+		t.Fatalf("gc stats = %+v", st)
+	}
+}
+
+func TestStoreGCReapsOrphanedTracesMemoryTier(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan, kept := fp(1), fp(2)
+	if err := s.PutTrace(orphan, []byte("o")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace(kept, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sweep(context.Background(), func() map[string]bool {
+		return map[string]bool{kept: true}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetTrace(orphan); ok {
+		t.Fatal("orphaned in-memory trace survived GC")
+	}
+	if _, ok, _ := s.GetTrace(kept); !ok {
+		t.Fatal("referenced in-memory trace reaped")
+	}
+}
+
+func TestStoreGCGracePeriod(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), GCGrace: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutTrace(fp(1), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sweep(context.Background(), func() map[string]bool { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.GetTrace(fp(1)); !ok {
+		t.Fatal("trace inside the grace period reclaimed")
+	}
+}
+
+func TestStoreCrashDuringGC(t *testing.T) {
+	// Phase one of the two-phase delete (a durable tombstone) with a crash
+	// before phase two (compaction): reopening must not resurrect the
+	// reclaimed blob and must not lose any live one.
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace(fp(1), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace(fp(2), []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-enact phase one directly against the segment keyspace, then
+	// "crash" (close) without compacting.
+	bs, err := storage.OpenBlobStore(storage.Options{Dir: filepath.Join(dir, "segments")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Delete("trace/" + fp(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after GC crash: %v", err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.GetTrace(fp(1)); ok {
+		t.Fatal("tombstoned trace resurrected after GC crash")
+	}
+	if got, ok, _ := re.GetTrace(fp(2)); !ok || string(got) != "alive" {
+		t.Fatal("live trace lost across GC crash")
+	}
+}
+
+func TestStoreStartGCReapsInBackground(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutTrace(fp(1), []byte("orphan")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.StartGC(ctx, 5*time.Millisecond, func() map[string]bool { return nil })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok, _ := s.GetTrace(fp(1)); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background GC never reaped the orphan")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStoreIterate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(testRecord(t, fp(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testRecord(t, fp(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace(fp(1), []byte("trace")); err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	if err := s.Iterate("", func(key string, size int64) error {
+		if size <= 0 {
+			return fmt.Errorf("blob %s has size %d", key, size)
+		}
+		count[key]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(count) != 3 {
+		t.Fatalf("Iterate saw %d keys: %v", len(count), count)
+	}
+	var traces []string
+	if err := s.Iterate("trace/", func(key string, size int64) error {
+		traces = append(traces, key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0] != "trace/"+fp(1) {
+		t.Fatalf("trace Iterate = %v", traces)
+	}
+}
+
+func TestStoreNegativeCacheSkipsDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.Get(fp(9)); ok || err != nil {
+			t.Fatalf("lookup %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.NegativeCacheHits < 2 {
+		t.Fatalf("negative cache hits = %d, want >= 2", st.NegativeCacheHits)
+	}
+	// A put must invalidate the cached miss.
+	if err := s.Put(testRecord(t, fp(9))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp(9)); !ok || err != nil {
+		t.Fatalf("record invisible after put: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreDiskBoundEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, MaxBytes: 32 << 10, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	payload := make([]byte, 1024)
+	for i := 0; i < 100; i++ {
+		if err := s.PutTrace(fmt.Sprintf("%064x", 0x1000+i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.DiskBytes > 32<<10 {
+		t.Fatalf("disk bytes %d over the bound", st.DiskBytes)
+	}
+	if st.GCEvicted == 0 {
+		t.Fatal("no evictions under the bound")
+	}
+}

@@ -1,16 +1,22 @@
 // Package store is a content-addressed cache of reverse-engineering
 // results, keyed by machine-definition fingerprints (see
 // machine.Definition.Fingerprint). It layers an in-memory LRU front over
-// optional JSON persistence (one file per fingerprint, built on the
-// mapping wire format of internal/mapping), and deduplicates concurrent
-// computations for the same key with single-flight: when many campaign
-// jobs or daemon requests ask for the same machine configuration at once,
-// the pipeline runs exactly once and every caller shares the outcome.
+// optional segment-based persistence (internal/storage), and deduplicates
+// concurrent computations for the same key with single-flight: when many
+// campaign jobs or daemon requests ask for the same machine configuration
+// at once, the pipeline runs exactly once and every caller shares the
+// outcome.
 //
-// Next to each result the store can persist the run's recorded timing
-// trace (internal/trace binary streams), content-addressed by the same
-// machine fingerprint: <fp>.trace beside <fp>.json on disk, or a bounded
-// in-memory tier when no trace directory is configured.
+// On disk, results and recorded timing traces share one content-addressed
+// keyspace inside append-only segment files under <dir>/segments:
+// "result/<fp>" holds the record JSON, "trace/<fp>" the trace stream.
+// The legacy flat layout (<fp>.json / <fp>.trace, one file per
+// fingerprint) auto-migrates into segments the first time a store opens
+// over an old directory, and any flat files that appear later are still
+// readable — lookups fall back to them after a segment miss. A background
+// GC (StartGC) reclaims orphaned traces, enforces the optional disk-size
+// bound, and compacts dead segments. With no directory configured at all,
+// traces live in a bounded in-memory tier as before.
 package store
 
 import (
@@ -22,13 +28,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"dramdig/internal/mapping"
 	"dramdig/internal/metrics"
 	"dramdig/internal/obs"
+	"dramdig/internal/storage"
 )
 
 // Record is one cached result: the recovered mapping plus the run
@@ -77,19 +86,44 @@ func ValidFingerprint(s string) bool {
 	return true
 }
 
+// Blob-keyspace prefixes: results and traces share one content-addressed
+// namespace inside the segment files.
+const (
+	resultPrefix = "result/"
+	tracePrefix  = "trace/"
+)
+
+func resultKey(fp string) string { return resultPrefix + fp }
+func traceKey(fp string) string  { return tracePrefix + fp }
+
+// negCacheCap bounds the negative-lookup cache (fingerprints known to be
+// absent from every tier, so repeated misses skip the legacy disk probe).
+const negCacheCap = 4096
+
 // Config tunes a store.
 type Config struct {
-	// Dir enables JSON persistence under this directory; empty keeps the
-	// store memory-only.
+	// Dir enables result persistence under this directory; empty keeps
+	// results memory-only. Segments live under Dir/segments; legacy flat
+	// <fp>.json files in Dir migrate into them on Open.
 	Dir string
-	// TraceDir is where recorded timing traces persist (one
-	// <fingerprint>.trace per machine). Empty falls back to Dir; with
-	// both empty, traces live in a bounded in-memory tier.
+	// TraceDir is where recorded timing traces persist. Empty falls back
+	// to Dir; with both empty, traces live in a bounded in-memory tier.
+	// Legacy flat <fp>.trace files in TraceDir migrate on Open.
 	TraceDir string
 	// MaxEntries caps the in-memory LRU front (default 128). Persistence
 	// is unaffected by eviction: evicted records reload from disk. The
 	// same cap bounds the in-memory trace tier.
 	MaxEntries int
+	// MaxBytes bounds the disk tier (segment bytes); 0 means unbounded.
+	// Past the bound, least-recently-used blobs are evicted and dead
+	// segments compacted.
+	MaxBytes int64
+	// SegmentBytes overrides the target segment size (tests; 0 = default).
+	SegmentBytes int64
+	// GCGrace is how long a blob is exempt from orphan reclamation after
+	// being written (or recovered from disk), so GC never races a trace
+	// that is still being linked to its job. 0 means no grace.
+	GCGrace time.Duration
 }
 
 // Stats are cumulative store counters.
@@ -110,6 +144,19 @@ type Stats struct {
 	// tier — requests for fingerprints the store has never seen (distinct
 	// from GetOrCompute misses, which turn into computes).
 	NegativeLookups uint64 `json:"negative_lookups"`
+	// NegativeCacheHits counts lookups answered by the bounded
+	// negative-lookup cache without touching the disk.
+	NegativeCacheHits uint64 `json:"negative_cache_hits"`
+	// Disk-tier shape: live blobs, segment files, and their total bytes.
+	DiskBlobs int   `json:"disk_blobs"`
+	DiskBytes int64 `json:"disk_bytes"`
+	Segments  int   `json:"segments"`
+	// GC activity since open: completed sweeps, blobs/bytes reclaimed as
+	// orphans, and blobs evicted to satisfy MaxBytes.
+	GCRuns           uint64 `json:"gc_runs"`
+	GCReclaimedBlobs uint64 `json:"gc_reclaimed_blobs"`
+	GCReclaimedBytes uint64 `json:"gc_reclaimed_bytes"`
+	GCEvicted        uint64 `json:"gc_evicted"`
 }
 
 // Store is safe for concurrent use.
@@ -122,14 +169,25 @@ type Store struct {
 	flight map[string]*flightCall
 	stats  Stats
 
+	// Disk tier: one segment-backed blob keyspace for results and traces.
+	// nil when neither Dir nor TraceDir is configured.
+	blob           *storage.BlobStore
+	persistResults bool // results persist only when Dir was set
+	gcGrace        time.Duration
+
+	// Bounded negative-lookup cache: blob keys proven absent everywhere.
+	negCache      map[string]struct{}
+	negCacheOrder []string
+
 	// Disk-tier latency histograms; nil (no-op) until RegisterMetrics.
 	diskRead  *metrics.Histogram
 	diskWrite *metrics.Histogram
 
-	// Trace tier: disk under traceDir, or the bounded memTraces map
-	// (FIFO by memTraceOrder) when no directory is configured.
+	// Trace tier: the shared blob keyspace, or the bounded memTraces map
+	// (FIFO by memTraceOrder) when no directory is configured at all.
 	traceDir      string
 	memTraces     map[string][]byte
+	memTraceAt    map[string]time.Time
 	memTraceOrder []string
 }
 
@@ -140,7 +198,8 @@ type flightCall struct {
 }
 
 // Open creates a store; with Config.Dir set, the directory is created and
-// records persist across processes (loaded lazily on Get misses).
+// records persist across processes (loaded lazily on Get misses). Legacy
+// flat-file layouts migrate into the segment keyspace here.
 func Open(cfg Config) (*Store, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 128
@@ -159,15 +218,100 @@ func Open(cfg Config) (*Store, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return &Store{
-		dir:       cfg.Dir,
-		cap:       cfg.MaxEntries,
-		ll:        list.New(),
-		items:     make(map[string]*list.Element),
-		flight:    make(map[string]*flightCall),
-		traceDir:  traceDir,
-		memTraces: make(map[string][]byte),
-	}, nil
+	s := &Store{
+		dir:            cfg.Dir,
+		cap:            cfg.MaxEntries,
+		ll:             list.New(),
+		items:          make(map[string]*list.Element),
+		flight:         make(map[string]*flightCall),
+		persistResults: cfg.Dir != "",
+		gcGrace:        cfg.GCGrace,
+		negCache:       make(map[string]struct{}),
+		traceDir:       traceDir,
+		memTraces:      make(map[string][]byte),
+		memTraceAt:     make(map[string]time.Time),
+	}
+	root := cfg.Dir
+	if root == "" {
+		root = traceDir
+	}
+	if root != "" {
+		bs, err := storage.OpenBlobStore(storage.Options{
+			Dir:          filepath.Join(root, "segments"),
+			SegmentBytes: cfg.SegmentBytes,
+			MaxBytes:     cfg.MaxBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.blob = bs
+		if err := s.migrateFlat(); err != nil {
+			bs.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// migrateFlat imports legacy one-file-per-fingerprint layouts into the
+// segment keyspace and removes the flat files. The blob store is fsynced
+// before any flat file is deleted, so a crash at any point leaves every
+// record readable from one layout or the other; a re-run is idempotent
+// (later puts replace earlier ones).
+func (s *Store) migrateFlat() error {
+	type flatFile struct{ path, key string }
+	var moved []flatFile
+	scan := func(dir, suffix, prefix string) error {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("store: migrate scan: %w", err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, suffix) {
+				continue
+			}
+			fp := strings.TrimSuffix(name, suffix)
+			if !ValidFingerprint(fp) {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("store: migrate read: %w", err)
+			}
+			// Content moves byte-for-byte: a corrupt or miskeyed flat
+			// file stays corrupt under the content address and is
+			// rejected at read time, exactly as before.
+			if err := s.blob.Put(prefix+fp, data); err != nil {
+				return err
+			}
+			moved = append(moved, flatFile{path: path, key: prefix + fp})
+		}
+		return nil
+	}
+	if s.dir != "" {
+		if err := scan(s.dir, ".json", resultPrefix); err != nil {
+			return err
+		}
+	}
+	if s.traceDir != "" {
+		if err := scan(s.traceDir, ".trace", tracePrefix); err != nil {
+			return err
+		}
+	}
+	if len(moved) == 0 {
+		return nil
+	}
+	if err := s.blob.Sync(); err != nil {
+		return err
+	}
+	for _, f := range moved {
+		if err := storage.RemoveDurable(f.path); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Get returns the record for the fingerprint, consulting memory then
@@ -310,15 +454,22 @@ func (s *Store) GetOrComputeCtx(ctx context.Context, fp string, compute func() (
 // StatsSnapshot returns the current counters.
 func (s *Store) StatsSnapshot() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = s.ll.Len()
+	s.mu.Unlock()
+	if s.blob != nil {
+		st.DiskBlobs = s.blob.Len()
+		st.DiskBytes = s.blob.DiskBytes()
+		st.Segments = s.blob.Segments()
+		st.GCEvicted = s.blob.Stats().Evicted
+	}
 	return st
 }
 
 // RegisterMetrics wires the store into a metrics registry: cache-outcome
-// counters read live from StatsSnapshot, the current LRU population, and
-// disk-tier read/write latency histograms. A nil registry is a no-op.
+// counters read live from StatsSnapshot, the current LRU population, the
+// disk tier's size and GC activity, and disk-tier read/write latency
+// histograms. A nil registry is a no-op.
 func (s *Store) RegisterMetrics(r *metrics.Registry) {
 	if r == nil {
 		return
@@ -333,14 +484,30 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 		func() float64 { return float64(s.StatsSnapshot().PersistErrors) })
 	r.CounterFunc("dramdig_store_negative_lookups_total", "Get calls for fingerprints the store has never seen.", nil,
 		func() float64 { return float64(s.StatsSnapshot().NegativeLookups) })
+	r.CounterFunc("dramdig_store_negative_cache_hits_total", "Misses answered by the negative-lookup cache without touching disk.", nil,
+		func() float64 { return float64(s.StatsSnapshot().NegativeCacheHits) })
 	r.GaugeFunc("dramdig_store_entries", "Records in the in-memory LRU tier.", nil,
 		func() float64 { return float64(s.Len()) })
+	r.GaugeFunc("dramdig_store_disk_bytes", "Total bytes in the segment files of the disk tier.", nil,
+		func() float64 { return float64(s.StatsSnapshot().DiskBytes) })
+	r.GaugeFunc("dramdig_store_disk_blobs", "Live blobs (results + traces) in the disk tier.", nil,
+		func() float64 { return float64(s.StatsSnapshot().DiskBlobs) })
+	r.GaugeFunc("dramdig_store_segments", "Segment files in the disk tier.", nil,
+		func() float64 { return float64(s.StatsSnapshot().Segments) })
+	r.CounterFunc("dramdig_store_gc_runs_total", "Completed garbage-collection sweeps.", nil,
+		func() float64 { return float64(s.StatsSnapshot().GCRuns) })
+	r.CounterFunc("dramdig_store_gc_reclaimed_blobs_total", "Orphaned blobs reclaimed by GC.", nil,
+		func() float64 { return float64(s.StatsSnapshot().GCReclaimedBlobs) })
+	r.CounterFunc("dramdig_store_gc_reclaimed_bytes_total", "Payload bytes of orphaned blobs reclaimed by GC.", nil,
+		func() float64 { return float64(s.StatsSnapshot().GCReclaimedBytes) })
+	r.CounterFunc("dramdig_store_gc_evicted_total", "Blobs evicted to keep the disk tier under -store-max-bytes.", nil,
+		func() float64 { return float64(s.StatsSnapshot().GCEvicted) })
 	diskBuckets := metrics.ExpBuckets(10e-6, 4, 10) // 10µs .. ~2.6s
 	s.mu.Lock()
 	s.diskRead = r.Histogram("dramdig_store_disk_read_seconds",
 		"Disk-tier record read latency.", diskBuckets, nil)
 	s.diskWrite = r.Histogram("dramdig_store_disk_write_seconds",
-		"Disk-tier record write latency (temp file + rename).", diskBuckets, nil)
+		"Disk-tier record write latency (segment append).", diskBuckets, nil)
 	s.mu.Unlock()
 }
 
@@ -351,7 +518,47 @@ func (s *Store) Len() int {
 	return s.ll.Len()
 }
 
-// getLocked consults the LRU then the disk tier, promoting what it finds.
+// Close releases the disk tier (fsyncing the active segment). The store
+// must not be used afterwards. Memory-only stores need no Close.
+func (s *Store) Close() error {
+	if s.blob != nil {
+		return s.blob.Close()
+	}
+	return nil
+}
+
+// --- negative-lookup cache ---------------------------------------------
+
+// negCacheHasLocked reports whether key was already proven absent.
+func (s *Store) negCacheHasLocked(key string) bool {
+	_, ok := s.negCache[key]
+	if ok {
+		s.stats.NegativeCacheHits++
+	}
+	return ok
+}
+
+func (s *Store) negCacheAddLocked(key string) {
+	if _, ok := s.negCache[key]; ok {
+		return
+	}
+	s.negCache[key] = struct{}{}
+	s.negCacheOrder = append(s.negCacheOrder, key)
+	for len(s.negCacheOrder) > negCacheCap {
+		evict := s.negCacheOrder[0]
+		s.negCacheOrder = s.negCacheOrder[1:]
+		delete(s.negCache, evict)
+	}
+}
+
+func (s *Store) negCacheDropLocked(key string) {
+	delete(s.negCache, key)
+}
+
+// --- result tier -------------------------------------------------------
+
+// getLocked consults the LRU, then the segment keyspace, then the legacy
+// flat layout, promoting what it finds.
 func (s *Store) getLocked(fp string) (*Record, error) {
 	if el, ok := s.items[fp]; ok {
 		s.ll.MoveToFront(el)
@@ -359,10 +566,28 @@ func (s *Store) getLocked(fp string) (*Record, error) {
 		return el.Value.(*Record), nil
 	}
 	if s.dir != "" && ValidFingerprint(fp) {
+		key := resultKey(fp)
 		readStart := time.Now()
-		data, err := os.ReadFile(s.path(fp))
-		if err == nil {
-			// Only successful reads are observed: ENOENT misses return in
+		data, ok, err := s.blob.Get(key)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if !ok && !s.negCacheHasLocked(key) {
+			// Legacy flat layout: a <fp>.json dropped into the directory
+			// after Open is still honored. The negative cache keeps
+			// repeated misses off the disk.
+			data, err = os.ReadFile(s.flatPath(fp))
+			if os.IsNotExist(err) {
+				data, err = nil, nil
+				s.negCacheAddLocked(key)
+			} else if err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			} else {
+				ok = true
+			}
+		}
+		if ok {
+			// Only successful reads are observed: index misses return in
 			// microseconds and would skew the latency distribution toward
 			// the low buckets.
 			s.diskRead.Observe(time.Since(readStart).Seconds())
@@ -377,14 +602,12 @@ func (s *Store) getLocked(fp string) (*Record, error) {
 				return nil, fmt.Errorf("store: corrupt record %s: %w", fp, verr)
 			}
 			s.stats.Hits++
-			// Promote to memory without rewriting the file.
-			if perr := s.putLocked(&rec, false); perr != nil {
+			// Promote to memory (and into segments, when the hit came
+			// from a legacy flat file).
+			if perr := s.putLocked(&rec, true); perr != nil {
 				return nil, perr
 			}
 			return &rec, nil
-		}
-		if !os.IsNotExist(err) {
-			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
 	s.stats.Misses++
@@ -392,10 +615,10 @@ func (s *Store) getLocked(fp string) (*Record, error) {
 }
 
 // putLocked inserts into the LRU first — the memory tier stays coherent
-// even when the disk tier misbehaves — then persists. Records are small
-// (~1 KiB of JSON), so holding the mutex across the write is a deliberate
-// simplicity tradeoff; the expensive pipeline computes already run
-// outside the lock.
+// even when the disk tier misbehaves — then persists into the segment
+// keyspace. Records are small (~1 KiB of JSON), so holding the mutex
+// across the append is a deliberate simplicity tradeoff; the expensive
+// pipeline computes already run outside the lock.
 func (s *Store) putLocked(rec *Record, persist bool) error {
 	if el, ok := s.items[rec.Fingerprint]; ok {
 		el.Value = rec
@@ -408,63 +631,178 @@ func (s *Store) putLocked(rec *Record, persist bool) error {
 			delete(s.items, oldest.Value.(*Record).Fingerprint)
 		}
 	}
-	if persist && s.dir != "" {
+	if persist && s.persistResults {
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
 			return fmt.Errorf("store: encode %s: %w", rec.Fingerprint, err)
 		}
-		path := s.path(rec.Fingerprint)
-		tmp := path + ".tmp"
+		key := resultKey(rec.Fingerprint)
 		writeStart := time.Now()
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := s.blob.Put(key, data); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 		s.diskWrite.Observe(time.Since(writeStart).Seconds())
+		s.negCacheDropLocked(key)
 	}
 	return nil
 }
 
-func (s *Store) path(fp string) string {
+// flatPath is where the legacy one-file-per-record layout kept fp.
+func (s *Store) flatPath(fp string) string {
 	return filepath.Join(s.dir, fp+".json")
+}
+
+// --- iteration ---------------------------------------------------------
+
+// Iterate calls fn for every live blob whose key starts with prefix, in
+// key order. Keys are "result/<fp>" and "trace/<fp>". For memory-only
+// stores the in-memory tiers are enumerated instead (result sizes are
+// reported as 0 — records are not serialized to measure them). fn must
+// not call back into the store.
+func (s *Store) Iterate(prefix string, fn func(key string, size int64) error) error {
+	if s.blob != nil {
+		return s.blob.Iterate(prefix, func(in storage.BlobInfo) error {
+			return fn(in.Key, in.Size)
+		})
+	}
+	s.mu.Lock()
+	type kv struct {
+		key  string
+		size int64
+	}
+	var infos []kv
+	for fp := range s.items {
+		if k := resultKey(fp); strings.HasPrefix(k, prefix) {
+			infos = append(infos, kv{key: k})
+		}
+	}
+	for fp, data := range s.memTraces {
+		if k := traceKey(fp); strings.HasPrefix(k, prefix) {
+			infos = append(infos, kv{key: k, size: int64(len(data))})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].key < infos[j].key })
+	for _, in := range infos {
+		if err := fn(in.key, in.size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- garbage collection ------------------------------------------------
+
+// Sweep runs one GC pass: traces whose fingerprint the referenced
+// callback does not vouch for are reclaimed (once past Config.GCGrace),
+// the disk bound is enforced, and dead segments are compacted. Results
+// are never orphan-reclaimed — only the size bound evicts them. A nil
+// referenced skips orphan reclamation.
+func (s *Store) Sweep(ctx context.Context, referenced func() map[string]bool) (storage.SweepResult, error) {
+	var refs map[string]bool
+	if referenced != nil {
+		refs = referenced()
+	}
+	if s.blob == nil {
+		return s.sweepMem(ctx, referenced != nil, refs)
+	}
+	var reclaim func(key string, age time.Duration) bool
+	if referenced != nil {
+		reclaim = func(key string, age time.Duration) bool {
+			fp, ok := strings.CutPrefix(key, tracePrefix)
+			if !ok {
+				return false
+			}
+			return age >= s.gcGrace && !refs[fp]
+		}
+	}
+	res, err := s.blob.Sweep(ctx, reclaim)
+	s.mu.Lock()
+	s.stats.GCRuns++
+	s.stats.GCReclaimedBlobs += uint64(res.ReclaimedBlobs)
+	s.stats.GCReclaimedBytes += uint64(res.ReclaimedBytes)
+	s.mu.Unlock()
+	return res, err
+}
+
+// sweepMem reclaims orphaned traces from the in-memory tier.
+func (s *Store) sweepMem(ctx context.Context, haveRefs bool, refs map[string]bool) (storage.SweepResult, error) {
+	_, sp := obs.Start(ctx, "storage.gc")
+	defer sp.End()
+	var res storage.SweepResult
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if haveRefs {
+		now := time.Now()
+		kept := s.memTraceOrder[:0]
+		for _, fp := range s.memTraceOrder {
+			data, ok := s.memTraces[fp]
+			if ok && !refs[fp] && now.Sub(s.memTraceAt[fp]) >= s.gcGrace {
+				delete(s.memTraces, fp)
+				delete(s.memTraceAt, fp)
+				res.ReclaimedBlobs++
+				res.ReclaimedBytes += int64(len(data))
+				continue
+			}
+			kept = append(kept, fp)
+		}
+		s.memTraceOrder = kept
+	}
+	s.stats.GCRuns++
+	s.stats.GCReclaimedBlobs += uint64(res.ReclaimedBlobs)
+	s.stats.GCReclaimedBytes += uint64(res.ReclaimedBytes)
+	sp.SetAttrInt("reclaimed_blobs", int64(res.ReclaimedBlobs))
+	sp.SetAttrInt("reclaimed_bytes", res.ReclaimedBytes)
+	return res, nil
+}
+
+// StartGC launches a background goroutine sweeping every interval until
+// ctx is canceled. referenced returns the set of machine fingerprints
+// whose artifacts must survive (typically: every job the daemon's queue
+// still retains); it is called once per sweep.
+func (s *Store) StartGC(ctx context.Context, interval time.Duration, referenced func() map[string]bool) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.Sweep(ctx, referenced) // errors surface via gc span + counters
+			}
+		}
+	}()
 }
 
 // --- trace tier --------------------------------------------------------
 
-// TracePath returns where a fingerprint's trace persists ("" when the
-// store keeps traces in memory).
+// TracePath returns where a fingerprint's trace persisted under the
+// legacy flat layout, or "" now that traces live inside the shared
+// segment keyspace (use GetTrace/StatTrace for access).
 func (s *Store) TracePath(fp string) string {
 	if s.traceDir == "" {
 		return ""
 	}
-	return filepath.Join(s.traceDir, fp+".trace")
+	p := filepath.Join(s.traceDir, fp+".trace")
+	if _, err := os.Stat(p); err == nil {
+		return p
+	}
+	return ""
 }
 
 // TraceWriter returns a sink that stores the bytes written to it as the
-// fingerprint's trace when closed. On disk the write is atomic (temp
-// file + rename), so a crashed recording never leaves a half trace under
-// the content address; in memory the trace appears only on Close.
+// fingerprint's trace when closed. The trace appears under its content
+// address only on Close — a crashed recording never leaves a half trace
+// visible, on disk or in memory.
 func (s *Store) TraceWriter(fp string) (io.WriteCloser, error) {
 	if !ValidFingerprint(fp) {
 		return nil, fmt.Errorf("store: bad fingerprint %q", fp)
 	}
-	if s.traceDir == "" {
-		return &memTraceWriter{s: s, fp: fp}, nil
-	}
-	path := s.TracePath(fp)
-	f, err := os.CreateTemp(s.traceDir, fp+".tmp*")
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	// CreateTemp defaults to 0600; match the record files' permissions.
-	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return &fileTraceWriter{f: f, path: path}, nil
+	return &traceWriter{s: s, fp: fp}, nil
 }
 
 // PutTrace stores an already-encoded trace for the fingerprint.
@@ -480,19 +818,59 @@ func (s *Store) PutTrace(fp string, data []byte) error {
 	return w.Close()
 }
 
+// putTraceBytes commits a completed trace into the blob keyspace or the
+// bounded in-memory tier.
+func (s *Store) putTraceBytes(fp string, data []byte) error {
+	if s.blob == nil {
+		s.putMemTrace(fp, data)
+		return nil
+	}
+	key := traceKey(fp)
+	s.mu.Lock()
+	writeStart := time.Now()
+	err := s.blob.Put(key, data)
+	if err == nil {
+		s.diskWrite.Observe(time.Since(writeStart).Seconds())
+		s.negCacheDropLocked(key)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
 // GetTrace returns the stored trace bytes for the fingerprint.
 func (s *Store) GetTrace(fp string) ([]byte, bool, error) {
 	if !ValidFingerprint(fp) {
 		return nil, false, fmt.Errorf("store: bad fingerprint %q", fp)
 	}
-	if s.traceDir == "" {
+	if s.blob == nil {
 		s.mu.Lock()
 		data, ok := s.memTraces[fp]
 		s.mu.Unlock()
 		return data, ok, nil
 	}
-	data, err := os.ReadFile(s.TracePath(fp))
+	key := traceKey(fp)
+	data, ok, err := s.blob.Get(key)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	if ok {
+		return data, true, nil
+	}
+	s.mu.Lock()
+	skip := s.negCacheHasLocked(key)
+	s.mu.Unlock()
+	if skip {
+		return nil, false, nil
+	}
+	// Legacy flat layout fallback.
+	data, err = os.ReadFile(filepath.Join(s.traceDir, fp+".trace"))
 	if os.IsNotExist(err) {
+		s.mu.Lock()
+		s.negCacheAddLocked(key)
+		s.mu.Unlock()
 		return nil, false, nil
 	}
 	if err != nil {
@@ -507,13 +885,16 @@ func (s *Store) StatTrace(fp string) (int64, bool) {
 	if !ValidFingerprint(fp) {
 		return 0, false
 	}
-	if s.traceDir == "" {
+	if s.blob == nil {
 		s.mu.Lock()
 		data, ok := s.memTraces[fp]
 		s.mu.Unlock()
 		return int64(len(data)), ok
 	}
-	fi, err := os.Stat(s.TracePath(fp))
+	if size, ok := s.blob.Stat(traceKey(fp)); ok {
+		return size, true
+	}
+	fi, err := os.Stat(filepath.Join(s.traceDir, fp+".trace"))
 	if err != nil {
 		return 0, false
 	}
@@ -531,50 +912,28 @@ func (s *Store) putMemTrace(fp string, data []byte) {
 			evict := s.memTraceOrder[0]
 			s.memTraceOrder = s.memTraceOrder[1:]
 			delete(s.memTraces, evict)
+			delete(s.memTraceAt, evict)
 		}
 	}
 	s.memTraces[fp] = data
+	s.memTraceAt[fp] = time.Now()
 }
 
-type memTraceWriter struct {
+// traceWriter buffers the trace and commits it under the content address
+// on Close.
+type traceWriter struct {
 	s      *Store
 	fp     string
 	buf    bytes.Buffer
 	closed bool
 }
 
-func (w *memTraceWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *traceWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
 
-func (w *memTraceWriter) Close() error {
+func (w *traceWriter) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	w.s.putMemTrace(w.fp, w.buf.Bytes())
-	return nil
-}
-
-type fileTraceWriter struct {
-	f      *os.File
-	path   string
-	closed bool
-}
-
-func (w *fileTraceWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
-
-func (w *fileTraceWriter) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
-	tmp := w.f.Name()
-	if err := w.f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return w.s.putTraceBytes(w.fp, w.buf.Bytes())
 }

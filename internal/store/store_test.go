@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -274,12 +275,9 @@ func TestStoreRejectsMiskeyedDiskRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Persist a record, then copy its file under a different fingerprint
-	// (e.g. an operator renaming cache files by hand).
-	if err := st.Put(testRecord(t, fp(1))); err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(filepath.Join(dir, fp(1)+".json"))
+	// Drop a legacy flat file whose content is keyed by a different
+	// fingerprint (e.g. an operator renaming cache files by hand).
+	data, err := json.Marshal(testRecord(t, fp(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,16 +327,17 @@ func TestStoreTraceTierDisk(t *testing.T) {
 	if n, ok := s.StatTrace(key); !ok || n != int64(len(payload)) {
 		t.Fatalf("StatTrace = %d,%v", n, ok)
 	}
-	if s.TracePath(key) == "" {
-		t.Fatal("disk store reports no trace path")
+	// Traces live inside the shared segment keyspace now, so there is no
+	// per-trace flat path and no stray files in the trace directory.
+	if p := s.TracePath(key); p != "" {
+		t.Fatalf("segment-backed store reports flat trace path %q", p)
 	}
-	// No stray temp files.
 	entries, err := os.ReadDir(filepath.Join(dir, "traces"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		t.Fatalf("trace dir holds %d entries, want 1", len(entries))
+	if len(entries) != 0 {
+		t.Fatalf("trace dir holds %d entries, want 0", len(entries))
 	}
 
 	// A second store over the same directories sees the trace.
